@@ -1,0 +1,40 @@
+//! Bench E1 — message complexity (Prop 8.1).
+//!
+//! Measures full-run cost per protocol while the harness re-derives the
+//! `n²` / `O(n²t)` / `O(n⁴t²)` bit counts of the paper's table, and
+//! prints the measured totals so `cargo bench` output doubles as the
+//! table source.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_experiments::e1_bits;
+
+fn bench_e1(c: &mut Criterion) {
+    // Print the reproduced table once.
+    let (rows, table) = e1_bits::run(&[(4, 1), (8, 3), (12, 5), (16, 7)]);
+    println!("\n{table}");
+    for r in &rows {
+        assert_eq!(r.min_bits, (r.n * r.n) as u64, "Prop 8.1: P_min = n²");
+    }
+
+    let mut group = c.benchmark_group("e1_message_complexity");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (n, t) in [(8usize, 3usize), (16, 7)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                b.iter(|| {
+                    let (rows, _) = e1_bits::run(black_box(&[(n, t)]));
+                    black_box(rows.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench E2/E3 — failure-free decision times (Prop 8.2).
+//!
+//! Reprints the round-2 / round-(t+2) tables and measures the cost of the
+//! failure-free sweeps.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_experiments::{e2_failure_free_zero, e3_failure_free_ones};
+
+fn bench_e2_e3(c: &mut Criterion) {
+    let (rows2, table2) = e2_failure_free_zero::run(&[3, 4, 6, 9, 12]);
+    println!("\n{table2}");
+    for r in &rows2 {
+        assert_eq!(r.max_other_round, 2, "Prop 8.2(a)");
+    }
+    let (rows3, table3) = e3_failure_free_ones::run(12, &[0, 1, 2, 3, 5, 7]);
+    println!("\n{table3}");
+    for r in &rows3 {
+        assert_eq!(r.pmin_round, r.t as u32 + 2, "Prop 8.2(b)");
+        assert_eq!(r.pbasic_round, 2, "Prop 8.2(b)");
+    }
+
+    let mut group = c.benchmark_group("e2_e3_failure_free");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("e2_single_zero_sweep_n9", |b| {
+        b.iter(|| black_box(e2_failure_free_zero::run(black_box(&[9]))).0.len())
+    });
+    group.bench_function("e3_all_ones_sweep_n12", |b| {
+        b.iter(|| black_box(e3_failure_free_ones::run(12, black_box(&[1, 3, 5]))).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2_e3);
+criterion_main!(benches);

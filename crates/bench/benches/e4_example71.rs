@@ -1,0 +1,38 @@
+//! Bench E4 — Example 7.1 (silent faulty agents).
+//!
+//! Reprints the decision-round table (P_opt round 3 vs round 12) and
+//! measures the per-protocol cost of the exact paper configuration
+//! `n = 20, t = 10, 10 silent` — the FIP row is the expensive one (it
+//! re-analyzes communication graphs every round).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_bench::{run_pbasic, run_pmin, run_popt, silent_scenario};
+use eba_experiments::e4_silent_faulty;
+
+fn bench_e4(c: &mut Criterion) {
+    let ks: Vec<usize> = (1..=10).collect();
+    let (rows, table) = e4_silent_faulty::run(20, 10, &ks);
+    println!("\n{table}");
+    let last = rows.last().unwrap();
+    assert_eq!((last.popt_round, last.pmin_round), (3, 12), "Example 7.1");
+
+    let (params, pattern, inits) = silent_scenario(20, 10, 10);
+    let mut group = c.benchmark_group("e4_example71");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("pmin_n20_t10", |b| {
+        b.iter(|| black_box(run_pmin(params, &pattern, &inits)))
+    });
+    group.bench_function("pbasic_n20_t10", |b| {
+        b.iter(|| black_box(run_pbasic(params, &pattern, &inits)))
+    });
+    group.bench_function("popt_n20_t10", |b| {
+        b.iter(|| black_box(run_popt(params, &pattern, &inits)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

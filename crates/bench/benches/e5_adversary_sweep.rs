@@ -1,0 +1,29 @@
+//! Bench E5 — randomized-adversary campaign (Prop 6.1 / 7.3).
+//!
+//! Reprints the zero-violation table and measures the campaign
+//! throughput (runs + full EBA spec checks per second).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_experiments::e5_termination;
+
+fn bench_e5(c: &mut Criterion) {
+    let (rows, table) = e5_termination::run(&[(4, 1), (5, 2), (6, 2)], 400, 0.4, 0xEBA);
+    println!("\n{table}");
+    for r in &rows {
+        assert_eq!(r.eba_violations, 0, "{r:?}");
+        assert!(r.max_round <= r.bound, "{r:?}");
+    }
+
+    let mut group = c.benchmark_group("e5_adversary_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("campaign_50_trials_n5_t2", |b| {
+        b.iter(|| black_box(e5_termination::run(black_box(&[(5, 2)]), 50, 0.4, 1)).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench E6 — decision-latency curves (Section 8 discussion).
+//!
+//! Reprints the latency-vs-omission-rate series (the figure behind the
+//! paper's "P_basic may not be much worse than P_fip" conjecture) and
+//! measures the cost of one curve point per protocol family.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_experiments::e6_latency_curves;
+
+fn bench_e6(c: &mut Criterion) {
+    let probs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let (rows, table) = e6_latency_curves::run(8, 3, &probs, 100, 0xEBA);
+    println!("\n{table}");
+    for r in &rows {
+        assert!(r.popt_mean <= r.pbasic_mean + 1e-9, "{r:?}");
+        assert!(r.pbasic_mean <= r.pmin_mean + 1e-9, "{r:?}");
+    }
+
+    let mut group = c.benchmark_group("e6_latency_curves");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("one_point_20_trials_n8_t3", |b| {
+        b.iter(|| {
+            black_box(e6_latency_curves::run(8, 3, black_box(&[0.5]), 20, 7)).0.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

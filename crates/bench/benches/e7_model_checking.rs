@@ -1,0 +1,61 @@
+//! Bench E7 — epistemic model checking of the implementation theorems.
+//!
+//! Reprints the implements-check table (without the heavyweight γ_fip
+//! row; that one runs in the experiments binary and the test suite) and
+//! measures system construction + checking cost for the minimal context.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_core::kbp::KnowledgeBasedProgram;
+use eba_core::prelude::*;
+use eba_epistemic::prelude::*;
+use eba_experiments::e7_implements::{self, E7Config};
+
+fn bench_e7(c: &mut Criterion) {
+    let (rows, table) = e7_implements::run(E7Config {
+        include_fip: false,
+        include_n4_t2: true,
+    });
+    println!("\n{table}");
+    for r in &rows {
+        assert_eq!(r.mismatches, 0, "{r:?}");
+    }
+
+    let mut group = c.benchmark_group("e7_model_checking");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("build_system_min_n4_t2", |b| {
+        let params = Params::new(4, 2).unwrap();
+        let proto = PMin::new(params);
+        b.iter(|| {
+            let sys = InterpretedSystem::build(
+                MinExchange::new(params),
+                &proto,
+                params.default_horizon(),
+                10_000_000,
+            )
+            .unwrap();
+            black_box(sys.point_count())
+        })
+    });
+    group.bench_function("check_p0_min_n3_t1", |b| {
+        let params = Params::new(3, 1).unwrap();
+        let proto = PMin::new(params);
+        let sys = InterpretedSystem::build(
+            MinExchange::new(params),
+            &proto,
+            params.default_horizon(),
+            10_000_000,
+        )
+        .unwrap();
+        b.iter(|| {
+            let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P0);
+            black_box(report.comparisons)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Engineering performance: protocol/substrate scaling.
+//!
+//! Not a paper table — this tracks the cost of the implementation itself:
+//!
+//! * lockstep-simulator throughput for `P_basic` as `n` grows;
+//! * `FipAnalysis::analyze` (the polynomial-time `P_opt` core) as `n`
+//!   grows — the paper's complexity claim is that this stays polynomial;
+//! * threaded-transport round-trips versus the lockstep simulator.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_core::graph::FipAnalysis;
+use eba_core::prelude::*;
+use eba_sim::prelude::*;
+use eba_transport::{run_cluster, BasicCodec};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_sim_pbasic_run");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 8, 16, 32, 64] {
+        let t = (n - 1) / 2;
+        let params = Params::new(n, t).unwrap();
+        let ex = BasicExchange::new(params);
+        let proto = PBasic::new(params);
+        let pattern = FailurePattern::failure_free(params);
+        let inits = vec![Value::One; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let trace = eba_sim::runner::run(
+                    &ex,
+                    &proto,
+                    &pattern,
+                    black_box(&inits),
+                    &SimOptions::default(),
+                )
+                .unwrap();
+                black_box(trace.metrics.bits_sent)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fip_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_fip_analysis");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 8, 16, 24] {
+        let t = (n - 1) / 2;
+        let params = Params::new(n, t).unwrap();
+        // Build a realistic graph: silent-faulty run to the horizon.
+        let silent: AgentSet = (0..t).map(AgentId::new).collect();
+        let pattern = silent_pattern(params, silent, params.default_horizon()).unwrap();
+        let ex = FipExchange::new(params);
+        let trace = eba_sim::runner::run(
+            &ex,
+            &POpt::new(params),
+            &pattern,
+            &vec![Value::One; n],
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let observer = AgentId::new(t);
+        let state = trace.final_state(observer).clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let analysis = FipAnalysis::analyze(black_box(&state.graph), params, observer);
+                black_box(analysis.owner_action())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_transport_vs_lockstep");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 8;
+    let params = Params::new(n, 3).unwrap();
+    let ex = BasicExchange::new(params);
+    let proto = PBasic::new(params);
+    let pattern = FailurePattern::failure_free(params);
+    let inits = vec![Value::One; n];
+    group.bench_function("lockstep_n8", |b| {
+        b.iter(|| {
+            let trace =
+                eba_sim::runner::run(&ex, &proto, &pattern, &inits, &SimOptions::default())
+                    .unwrap();
+            black_box(trace.metrics.messages_sent)
+        })
+    });
+    group.bench_function("threads_n8", |b| {
+        b.iter(|| {
+            let report = run_cluster(&ex, &proto, &BasicCodec, &pattern, &inits, 6).unwrap();
+            black_box(report.frames_sent)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_throughput,
+    bench_fip_analysis,
+    bench_transport
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Shared scenario builders for the criterion benches.
+//!
+//! Each bench in `benches/` regenerates one of the paper's tables/figures
+//! (E1–E7) or measures engineering performance (`perf_scaling`); this
+//! little library keeps the scenario construction in one place so the
+//! benches measure protocol work, not setup boilerplate.
+
+use eba_core::prelude::*;
+use eba_sim::prelude::*;
+
+/// Builds the silent-faulty pattern of Example 7.1 for `(n, t, k)`.
+pub fn silent_scenario(n: usize, t: usize, k: usize) -> (Params, FailurePattern, Vec<Value>) {
+    let params = Params::new(n, t).expect("valid config");
+    let silent: AgentSet = (0..k).map(AgentId::new).collect();
+    let pattern = silent_pattern(params, silent, params.default_horizon()).expect("k ≤ t");
+    (params, pattern, vec![Value::One; n])
+}
+
+/// Runs `P_min` on a scenario; returns the max nonfaulty decision round.
+pub fn run_pmin(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
+    let trace = eba_sim::runner::run(
+        &MinExchange::new(params),
+        &PMin::new(params),
+        pattern,
+        inits,
+        &SimOptions::default(),
+    )
+    .expect("run");
+    trace
+        .metrics
+        .max_decision_round(pattern.nonfaulty())
+        .expect("all decide")
+}
+
+/// Runs `P_basic` on a scenario; returns the max nonfaulty decision round.
+pub fn run_pbasic(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
+    let trace = eba_sim::runner::run(
+        &BasicExchange::new(params),
+        &PBasic::new(params),
+        pattern,
+        inits,
+        &SimOptions::default(),
+    )
+    .expect("run");
+    trace
+        .metrics
+        .max_decision_round(pattern.nonfaulty())
+        .expect("all decide")
+}
+
+/// Runs `P_opt` on a scenario; returns the max nonfaulty decision round.
+pub fn run_popt(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
+    let trace = eba_sim::runner::run(
+        &FipExchange::new(params),
+        &POpt::new(params),
+        pattern,
+        inits,
+        &SimOptions::default(),
+    )
+    .expect("run");
+    trace
+        .metrics
+        .max_decision_round(pattern.nonfaulty())
+        .expect("all decide")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_helpers_reproduce_example_7_1() {
+        let (params, pattern, inits) = silent_scenario(20, 10, 10);
+        assert_eq!(run_pmin(params, &pattern, &inits), 12);
+        assert_eq!(run_pbasic(params, &pattern, &inits), 12);
+        assert_eq!(run_popt(params, &pattern, &inits), 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Information-exchange protocols (Section 3).
+//!
+//! An information-exchange protocol `E_i = ⟨L_i, I_i, A_i, M_i, μ_i, δ_i⟩`
+//! specifies what local state an agent maintains, which messages it sends
+//! given its state and the action chosen by the action protocol (`μ`), and
+//! how the state is updated from the action and the received messages (`δ`).
+//!
+//! Every exchange here is an *EBA context* exchange in the paper's sense:
+//! local states expose `time`, `init`, and `decided`, and the messages sent
+//! while performing `decide(0)`, `decide(1)`, and any other action are
+//! drawn from three disjoint sets `M_0`, `M_1`, `M_2`, so that recipients
+//! can tell whether the sender is deciding and on what value.
+
+mod basic;
+mod fip;
+mod minimal;
+mod naive;
+
+pub use basic::{BasicExchange, BasicMsg, BasicState};
+pub use fip::{FipExchange, FipMsg, FipState};
+pub use minimal::{MinExchange, MinMsg, MinState};
+pub use naive::{NaiveExchange, NaiveMsg, NaiveState};
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::types::{Action, AgentId, Params, Value};
+
+/// An information-exchange protocol for `n` agents (the `E` of a context
+/// `γ = (E, F, π)`).
+///
+/// The separation between this trait and [`crate::protocols::ActionProtocol`]
+/// is the paper's central modeling device: optimality is defined *relative
+/// to* an information-exchange protocol, and the same exchange can host many
+/// action protocols (whose corresponding runs can then be compared).
+pub trait InformationExchange {
+    /// Local states `L_i` (shared by all agents; the agent's identity is
+    /// passed explicitly).
+    type State: Clone + Eq + Hash + Debug;
+    /// Messages `M_i`.
+    type Message: Clone + Eq + Hash + Debug;
+
+    /// A short human-readable name, e.g. `"E_min"`.
+    fn name(&self) -> &'static str;
+
+    /// The instance parameters `(n, t)`.
+    fn params(&self) -> Params;
+
+    /// The initial state `⟨0, init_i, ⊥, …⟩` of agent `agent` with initial
+    /// preference `init`.
+    fn initial_state(&self, agent: AgentId, init: Value) -> Self::State;
+
+    /// The message-selection function `μ_i`: the messages `agent` sends in
+    /// the current round, given its state and the action it is performing.
+    /// Entry `j` is the message to agent `j`; `None` is `⊥` (no message).
+    ///
+    /// The returned vector always has length `n` (agents may send to
+    /// themselves; failure patterns may drop such messages).
+    fn outgoing(&self, agent: AgentId, state: &Self::State, action: Action)
+        -> Vec<Option<Self::Message>>;
+
+    /// The state-update function `δ_i`: the successor state given the
+    /// action performed and the tuple of received messages (entry `j` is
+    /// the message received from agent `j`, `None` if none).
+    ///
+    /// Implementations must increment the `time` component by exactly 1 and
+    /// record a `decide` action in the `decided` component.
+    fn update(
+        &self,
+        agent: AgentId,
+        state: &Self::State,
+        action: Action,
+        received: &[Option<Self::Message>],
+    ) -> Self::State;
+
+    /// The `time_i` component of a local state.
+    fn time(&self, state: &Self::State) -> u32;
+
+    /// The `init_i` component of a local state.
+    fn init(&self, state: &Self::State) -> Value;
+
+    /// The `decided_i` component of a local state (`None` is `⊥`).
+    fn decided(&self, state: &Self::State) -> Option<Value>;
+
+    /// The number of information bits in a message, for the message-
+    /// complexity accounting of Prop 8.1. This counts *logical* bits (e.g.
+    /// one bit for `E_min`'s `{0, 1}` messages), not wire bytes; wire-level
+    /// accounting lives in `eba-transport`.
+    fn message_bits(&self, msg: &Self::Message) -> u64;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared micro-harness: drives a single exchange round without the
+    //! simulator crate (which depends on this one).
+
+    use super::*;
+
+    /// Applies one synchronous round: every agent performs `actions[i]`,
+    /// messages are filtered by `delivers`, and all states are updated.
+    pub fn step<E: InformationExchange>(
+        ex: &E,
+        states: &[E::State],
+        actions: &[Action],
+        delivers: impl Fn(AgentId, AgentId) -> bool,
+    ) -> Vec<E::State> {
+        let n = ex.params().n();
+        let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
+            .map(|i| ex.outgoing(AgentId::new(i), &states[i], actions[i]))
+            .collect();
+        (0..n)
+            .map(|j| {
+                let to = AgentId::new(j);
+                let received: Vec<Option<E::Message>> = (0..n)
+                    .map(|i| {
+                        let from = AgentId::new(i);
+                        if delivers(from, to) {
+                            outgoing[i][j].clone()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                ex.update(to, &states[j], actions[j], &received)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,11 @@
+//! The failure model of Section 3: failure patterns `(N, F)` for the
+//! sending-omissions model `SO(t)`, crash failures as a special case, and
+//! adversary samplers for randomized experiments.
+
+mod enumerate;
+mod pattern;
+mod sampler;
+
+pub use enumerate::{init_configs, nonfaulty_choices};
+pub use pattern::{FailurePattern, PatternClass};
+pub use sampler::{crash_pattern, random_faulty_set, silent_pattern, OmissionSampler};

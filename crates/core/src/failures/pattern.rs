@@ -1,0 +1,345 @@
+//! Failure patterns (adversaries).
+
+use std::fmt;
+
+use crate::types::{AgentId, AgentSet, EbaError, Params};
+
+/// Classification of a failure pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatternClass {
+    /// No message is ever dropped (the faulty set may still be nonempty:
+    /// a faulty agent may *act* nonfaulty, cf. footnote 3 of the paper).
+    FailureFree,
+    /// Drops satisfy the crash discipline: once `F(m, i, j) = 0` for some
+    /// `j`, then `F(m', i, j') = 0` for all `m' > m` and all `j'`.
+    Crash,
+    /// General sending omissions.
+    Omission,
+}
+
+/// A failure pattern `(N, F)` from Section 3 of the paper.
+///
+/// `N` is the set of nonfaulty agents, and `F(m, i, j)` says whether the
+/// message sent from `i` to `j` in round `m + 1` is delivered. The
+/// sending-omissions model `SO(t)` requires `|Agt − N| ≤ t` and that
+/// `F(m, i, j) = 0` only when `i` is faulty.
+///
+/// Drops are stored sparsely per round; rounds beyond the recorded horizon
+/// deliver everything.
+///
+/// ```
+/// use eba_core::prelude::*;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(4, 1)?;
+/// let faulty = AgentSet::singleton(AgentId::new(0));
+/// let mut pat = FailurePattern::new(params, faulty.complement(4))?;
+/// pat.drop_message(1, AgentId::new(0), AgentId::new(2))?;
+/// assert!(pat.delivers(1, AgentId::new(0), AgentId::new(1)));
+/// assert!(!pat.delivers(1, AgentId::new(0), AgentId::new(2)));
+/// // Dropping from a nonfaulty sender violates the sending-omission model:
+/// assert!(pat.drop_message(0, AgentId::new(1), AgentId::new(2)).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FailurePattern {
+    params: Params,
+    nonfaulty: AgentSet,
+    /// `drops[m * n + from]` = bitmask of receivers whose round-`(m+1)`
+    /// message from `from` is dropped. Grows on demand.
+    drops: Vec<u128>,
+}
+
+impl FailurePattern {
+    /// Creates a pattern with the given nonfaulty set and no drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidPattern`] if more than `t` agents are
+    /// faulty or `nonfaulty` mentions agents outside `0..n`.
+    pub fn new(params: Params, nonfaulty: AgentSet) -> Result<Self, EbaError> {
+        let all = AgentSet::full(params.n());
+        if !nonfaulty.is_subset(all) {
+            return Err(EbaError::InvalidPattern(format!(
+                "nonfaulty set {nonfaulty} mentions agents outside 0..{}",
+                params.n()
+            )));
+        }
+        let faulty_count = params.n() - nonfaulty.len();
+        if faulty_count > params.t() {
+            return Err(EbaError::InvalidPattern(format!(
+                "{faulty_count} faulty agents exceeds t = {}",
+                params.t()
+            )));
+        }
+        Ok(FailurePattern {
+            params,
+            nonfaulty,
+            drops: Vec::new(),
+        })
+    }
+
+    /// The failure-free pattern: all agents nonfaulty, no drops.
+    pub fn failure_free(params: Params) -> Self {
+        FailurePattern {
+            params,
+            nonfaulty: AgentSet::full(params.n()),
+            drops: Vec::new(),
+        }
+    }
+
+    /// The instance parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The set `N` of nonfaulty agents.
+    pub fn nonfaulty(&self) -> AgentSet {
+        self.nonfaulty
+    }
+
+    /// The set `Agt − N` of faulty agents.
+    pub fn faulty(&self) -> AgentSet {
+        self.nonfaulty.complement(self.params.n())
+    }
+
+    /// Whether `agent` is faulty in this pattern.
+    pub fn is_faulty(&self, agent: AgentId) -> bool {
+        !self.nonfaulty.contains(agent)
+    }
+
+    /// Whether the message from `from` to `to` sent in round `m + 1` is
+    /// delivered (`F(m, from, to)` in the paper's notation).
+    pub fn delivers(&self, m: u32, from: AgentId, to: AgentId) -> bool {
+        let idx = m as usize * self.params.n() + from.index();
+        match self.drops.get(idx) {
+            Some(mask) => mask & (1u128 << to.index()) == 0,
+            None => true,
+        }
+    }
+
+    /// Drops the message from `from` to `to` in round `m + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidPattern`] if `from` is nonfaulty: in the
+    /// sending-omissions model only faulty senders may omit messages.
+    pub fn drop_message(&mut self, m: u32, from: AgentId, to: AgentId) -> Result<(), EbaError> {
+        if !self.is_faulty(from) {
+            return Err(EbaError::InvalidPattern(format!(
+                "cannot drop a message from nonfaulty sender {from}"
+            )));
+        }
+        let n = self.params.n();
+        let idx = m as usize * n + from.index();
+        if idx >= self.drops.len() {
+            self.drops.resize(idx + 1, 0);
+        }
+        self.drops[idx] |= 1u128 << to.index();
+        Ok(())
+    }
+
+    /// Drops every message `from` sends in rounds `m + 1` for
+    /// `m ∈ rounds`, to every agent other than itself, and also to itself
+    /// when `include_self` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidPattern`] if `from` is nonfaulty.
+    pub fn silence_agent(
+        &mut self,
+        from: AgentId,
+        rounds: std::ops::Range<u32>,
+        include_self: bool,
+    ) -> Result<(), EbaError> {
+        for m in rounds {
+            for to in self.params.agents() {
+                if to != from || include_self {
+                    self.drop_message(m, from, to)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of dropped (round, from, to) triples recorded.
+    pub fn count_drops(&self) -> usize {
+        self.drops.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// The last round index with any recorded drop, plus one (0 if none).
+    /// Rounds at or beyond this horizon deliver everything.
+    pub fn drop_horizon(&self) -> u32 {
+        let n = self.params.n();
+        let mut horizon = 0;
+        for (idx, mask) in self.drops.iter().enumerate() {
+            if *mask != 0 {
+                horizon = horizon.max((idx / n) as u32 + 1);
+            }
+        }
+        horizon
+    }
+
+    /// Classifies this pattern as failure-free, crash, or general omission,
+    /// considering drops up to [`FailurePattern::drop_horizon`].
+    ///
+    /// With crash failures, once an agent drops any message in round `m + 1`
+    /// it must drop *all* messages in every later round (it may still send
+    /// to some agents during its crashing round).
+    pub fn classify(&self) -> PatternClass {
+        if self.count_drops() == 0 {
+            return PatternClass::FailureFree;
+        }
+        let horizon = self.drop_horizon();
+        for from in self.params.agents() {
+            let mut crashed = false;
+            for m in 0..horizon {
+                let dropped_any = self
+                    .params
+                    .agents()
+                    .any(|to| !self.delivers(m, from, to));
+                let dropped_all = self
+                    .params
+                    .agents()
+                    .all(|to| !self.delivers(m, from, to));
+                if crashed && !dropped_all {
+                    return PatternClass::Omission;
+                }
+                if dropped_any {
+                    crashed = true;
+                }
+            }
+        }
+        PatternClass::Crash
+    }
+}
+
+impl fmt::Debug for FailurePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FailurePattern {{ n: {}, t: {}, faulty: {}, drops: {} }}",
+            self.params.n(),
+            self.params.t(),
+            self.faulty(),
+            self.count_drops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(4, 2).unwrap()
+    }
+
+    fn a(i: usize) -> AgentId {
+        AgentId::new(i)
+    }
+
+    #[test]
+    fn failure_free_delivers_everything() {
+        let pat = FailurePattern::failure_free(params());
+        for m in 0..10 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(pat.delivers(m, a(i), a(j)));
+                }
+            }
+        }
+        assert_eq!(pat.classify(), PatternClass::FailureFree);
+        assert_eq!(pat.faulty(), AgentSet::empty());
+    }
+
+    #[test]
+    fn rejects_too_many_faulty() {
+        let nf = AgentSet::singleton(a(0)); // 3 faulty > t = 2
+        assert!(FailurePattern::new(params(), nf).is_err());
+    }
+
+    #[test]
+    fn faulty_without_drops_is_allowed() {
+        // Footnote 3: faulty agents may exhibit no faulty behavior.
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let pat = FailurePattern::new(params(), nf).unwrap();
+        assert!(pat.is_faulty(a(0)));
+        assert_eq!(pat.classify(), PatternClass::FailureFree);
+    }
+
+    #[test]
+    fn drop_respects_sending_omission_constraint() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let mut pat = FailurePattern::new(params(), nf).unwrap();
+        assert!(pat.drop_message(0, a(0), a(1)).is_ok());
+        assert!(pat.drop_message(0, a(1), a(2)).is_err());
+        assert!(!pat.delivers(0, a(0), a(1)));
+        assert!(pat.delivers(0, a(0), a(2)));
+        assert!(pat.delivers(1, a(0), a(1)));
+    }
+
+    #[test]
+    fn silence_agent_drops_all_rounds() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let mut pat = FailurePattern::new(params(), nf).unwrap();
+        pat.silence_agent(a(0), 0..3, false).unwrap();
+        for m in 0..3 {
+            for j in 1..4 {
+                assert!(!pat.delivers(m, a(0), a(j)));
+            }
+            // Self-delivery kept when include_self = false.
+            assert!(pat.delivers(m, a(0), a(0)));
+        }
+        assert!(pat.delivers(3, a(0), a(1)));
+        assert_eq!(pat.count_drops(), 9);
+        assert_eq!(pat.drop_horizon(), 3);
+    }
+
+    #[test]
+    fn classify_crash_vs_omission() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+
+        // Crash: partial sends in round 1 (the crashing round), silent in
+        // every later recorded round. Classification only looks at rounds
+        // up to the drop horizon, so a partial final round also counts as
+        // a crash in progress.
+        let mut crash = FailurePattern::new(params(), nf).unwrap();
+        crash.drop_message(0, a(0), a(2)).unwrap();
+        crash.drop_message(0, a(0), a(3)).unwrap();
+        crash.drop_message(0, a(0), a(0)).unwrap();
+        assert_eq!(crash.classify(), PatternClass::Crash);
+        crash.silence_agent(a(0), 1..2, true).unwrap();
+        assert_eq!(crash.classify(), PatternClass::Crash);
+        // Sending again to someone in round 2 after dropping in round 1
+        // breaks the crash discipline.
+        let mut revived = FailurePattern::new(params(), nf).unwrap();
+        revived.drop_message(0, a(0), a(2)).unwrap();
+        revived.drop_message(1, a(0), a(1)).unwrap();
+        assert_eq!(revived.classify(), PatternClass::Omission);
+
+        // Omission: drop in round 1, deliver again in round 2, drop round 3.
+        let mut omis = FailurePattern::new(params(), nf).unwrap();
+        omis.drop_message(0, a(0), a(1)).unwrap();
+        omis.drop_message(2, a(0), a(1)).unwrap();
+        assert_eq!(omis.classify(), PatternClass::Omission);
+    }
+
+    #[test]
+    fn crash_classification_accepts_terminal_silence() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let mut pat = FailurePattern::new(params(), nf).unwrap();
+        // Crashes cleanly at round 2: sends everything round 1, nothing after.
+        pat.silence_agent(a(0), 1..4, true).unwrap();
+        assert_eq!(pat.classify(), PatternClass::Crash);
+    }
+
+    #[test]
+    fn debug_output_mentions_faulty_set() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let pat = FailurePattern::new(params(), nf).unwrap();
+        let s = format!("{pat:?}");
+        assert!(s.contains("a0"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Adversary constructors and randomized samplers.
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::types::{AgentSet, EbaError, Params};
+
+use super::FailurePattern;
+
+/// Builds the "silent adversary" of Example 7.1: every agent in `faulty`
+/// sends no messages to other agents in rounds `1..=rounds` (self-delivery
+/// is kept, so faulty agents still remember their own state; this does not
+/// affect any other agent's view).
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidPattern`] if `faulty` has more than `t`
+/// members.
+pub fn silent_pattern(
+    params: Params,
+    faulty: AgentSet,
+    rounds: u32,
+) -> Result<FailurePattern, EbaError> {
+    let mut pat = FailurePattern::new(params, faulty.complement(params.n()))?;
+    for agent in faulty.iter() {
+        pat.silence_agent(agent, 0..rounds, false)?;
+    }
+    Ok(pat)
+}
+
+/// Builds a crash pattern: each agent in `faulty` crashes in round
+/// `crash_round[k] + 1` (indexed by position in the faulty set's iteration
+/// order), delivering a random subset of its messages in the crashing round
+/// and nothing afterwards, up to `horizon` rounds.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidPattern`] if `faulty` has more than `t`
+/// members or `crash_round.len() != faulty.len()`.
+pub fn crash_pattern<R: Rng + ?Sized>(
+    params: Params,
+    faulty: AgentSet,
+    crash_round: &[u32],
+    horizon: u32,
+    rng: &mut R,
+) -> Result<FailurePattern, EbaError> {
+    if crash_round.len() != faulty.len() {
+        return Err(EbaError::InvalidInput(format!(
+            "crash_round has {} entries for {} faulty agents",
+            crash_round.len(),
+            faulty.len()
+        )));
+    }
+    let mut pat = FailurePattern::new(params, faulty.complement(params.n()))?;
+    for (agent, &cr) in faulty.iter().zip(crash_round) {
+        // During the crashing round the agent may send to an arbitrary
+        // prefix-free subset of agents ("possibly after sending some
+        // messages"); afterwards it sends nothing, including to itself.
+        for to in params.agents() {
+            if rng.random_bool(0.5) {
+                pat.drop_message(cr, agent, to)?;
+            }
+        }
+        if cr + 1 < horizon {
+            pat.silence_agent(agent, cr + 1..horizon, true)?;
+        }
+    }
+    Ok(pat)
+}
+
+/// A randomized sending-omissions adversary.
+///
+/// Samples a faulty set of size at most `t` and drops each message sent by
+/// a faulty agent independently with probability `drop_prob`, over rounds
+/// `1..=horizon`.
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(6, 2)?;
+/// let sampler = OmissionSampler::new(params, 5, 0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let pat = sampler.sample(&mut rng);
+/// assert!(pat.faulty().len() <= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct OmissionSampler {
+    params: Params,
+    horizon: u32,
+    drop_prob: f64,
+    drop_self: bool,
+}
+
+impl OmissionSampler {
+    /// Creates a sampler over rounds `1..=horizon` with the given
+    /// per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is not within `[0, 1]`.
+    pub fn new(params: Params, horizon: u32, drop_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability {drop_prob} outside [0, 1]"
+        );
+        OmissionSampler {
+            params,
+            horizon,
+            drop_prob,
+            drop_self: false,
+        }
+    }
+
+    /// Also drop faulty agents' messages to themselves (off by default).
+    pub fn drop_self(mut self, yes: bool) -> Self {
+        self.drop_self = yes;
+        self
+    }
+
+    /// Samples a failure pattern. The faulty set size is uniform in
+    /// `0..=t`; faulty membership is uniform among agents.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FailurePattern {
+        let k = rng.random_range(0..=self.params.t());
+        let faulty: AgentSet = self.params.agents().choose_multiple(rng, k).into_iter().collect();
+        self.sample_with_faulty(faulty, rng)
+    }
+
+    /// Samples drops for a fixed faulty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty` has more than `t` members (an internal contract
+    /// violation; use [`FailurePattern::new`] for fallible construction).
+    pub fn sample_with_faulty<R: Rng + ?Sized>(
+        &self,
+        faulty: AgentSet,
+        rng: &mut R,
+    ) -> FailurePattern {
+        let mut pat = FailurePattern::new(self.params, faulty.complement(self.params.n()))
+            .expect("faulty set within t");
+        for m in 0..self.horizon {
+            for from in faulty.iter() {
+                for to in self.params.agents() {
+                    if (to != from || self.drop_self) && rng.random_bool(self.drop_prob) {
+                        pat.drop_message(m, from, to).expect("sender is faulty");
+                    }
+                }
+            }
+        }
+        pat
+    }
+}
+
+/// Samples a uniformly random faulty set of exactly `k` agents.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn random_faulty_set<R: Rng + ?Sized>(params: Params, k: usize, rng: &mut R) -> AgentSet {
+    assert!(k <= params.n());
+    params.agents().choose_multiple(rng, k).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failures::PatternClass;
+    use crate::types::AgentId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> Params {
+        Params::new(5, 2).unwrap()
+    }
+
+    #[test]
+    fn silent_pattern_blocks_everything_but_self() {
+        let faulty: AgentSet = [0, 1].into_iter().map(AgentId::new).collect();
+        let pat = silent_pattern(params(), faulty, 4).unwrap();
+        for m in 0..4 {
+            for f in faulty.iter() {
+                for to in params().agents() {
+                    assert_eq!(pat.delivers(m, f, to), to == f);
+                }
+            }
+            // Nonfaulty senders unaffected.
+            assert!(pat.delivers(m, AgentId::new(2), AgentId::new(3)));
+        }
+    }
+
+    #[test]
+    fn silent_pattern_rejects_oversized_faulty_set() {
+        let faulty: AgentSet = [0, 1, 2].into_iter().map(AgentId::new).collect();
+        assert!(silent_pattern(params(), faulty, 3).is_err());
+    }
+
+    #[test]
+    fn omission_sampler_respects_t_and_prob_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sampler = OmissionSampler::new(params(), 4, 0.3);
+        for _ in 0..200 {
+            let pat = sampler.sample(&mut rng);
+            assert!(pat.faulty().len() <= 2);
+            // Every drop comes from a faulty sender.
+            for m in 0..4 {
+                for from in params().agents() {
+                    for to in params().agents() {
+                        if !pat.delivers(m, from, to) {
+                            assert!(pat.is_faulty(from));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn omission_sampler_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let faulty = AgentSet::singleton(AgentId::new(0));
+
+        let never = OmissionSampler::new(params(), 3, 0.0);
+        assert_eq!(never.sample_with_faulty(faulty, &mut rng).count_drops(), 0);
+
+        let always = OmissionSampler::new(params(), 3, 1.0);
+        let pat = always.sample_with_faulty(faulty, &mut rng);
+        // 4 receivers (self excluded) × 3 rounds.
+        assert_eq!(pat.count_drops(), 12);
+
+        let with_self = OmissionSampler::new(params(), 3, 1.0).drop_self(true);
+        assert_eq!(
+            with_self.sample_with_faulty(faulty, &mut rng).count_drops(),
+            15
+        );
+    }
+
+    #[test]
+    fn crash_pattern_is_classified_as_crash() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let faulty = AgentSet::singleton(AgentId::new(1));
+        for _ in 0..50 {
+            let pat = crash_pattern(params(), faulty, &[1], 5, &mut rng).unwrap();
+            assert!(matches!(
+                pat.classify(),
+                PatternClass::Crash | PatternClass::FailureFree
+            ));
+        }
+    }
+
+    #[test]
+    fn crash_pattern_validates_round_vector() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let faulty = AgentSet::singleton(AgentId::new(1));
+        assert!(crash_pattern(params(), faulty, &[1, 2], 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_faulty_set_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..=3 {
+            assert_eq!(random_faulty_set(params(), k, &mut rng).len(), k);
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The communication-graph data structure.
+
+use std::fmt;
+
+use crate::types::{AgentId, Value};
+
+use super::{EdgeLabel, PrefLabel};
+
+/// A communication graph `G_{i,m}`: agent `i`'s compact view of the message
+/// pattern up to time `m` under the full-information exchange.
+///
+/// Vertices are pairs `(agent, time)` with `time ≤ m`. For every round
+/// `m' ∈ 1..=m` and ordered agent pair `(from, to)` there is an edge
+/// `(from, m'-1) → (to, m')` carrying an [`EdgeLabel`]; every agent has a
+/// [`PrefLabel`] (a label on its time-0 vertex).
+///
+/// ```
+/// use eba_core::graph::{CommGraph, EdgeLabel, PrefLabel};
+/// use eba_core::types::{AgentId, Value};
+///
+/// let g = CommGraph::initial(3, AgentId::new(1), Value::One);
+/// assert_eq!(g.time(), 0);
+/// assert_eq!(g.pref(AgentId::new(1)), PrefLabel::Known(Value::One));
+/// assert_eq!(g.pref(AgentId::new(0)), PrefLabel::Unknown);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CommGraph {
+    n: u16,
+    time: u32,
+    /// Initial-preference labels, one per agent.
+    prefs: Vec<PrefLabel>,
+    /// Edge labels, indexed `(round - 1) * n² + from * n + to` for rounds
+    /// `1..=time`.
+    edges: Vec<EdgeLabel>,
+}
+
+impl CommGraph {
+    /// The graph `G_{i,0}`: agent `owner` knows only its own preference.
+    pub fn initial(n: usize, owner: AgentId, init: Value) -> Self {
+        assert!(owner.index() < n);
+        let mut prefs = vec![PrefLabel::Unknown; n];
+        prefs[owner.index()] = PrefLabel::Known(init);
+        CommGraph {
+            n: n as u16,
+            time: 0,
+            prefs,
+            edges: Vec::new(),
+        }
+    }
+
+    /// The number of agents.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The time `m` of this graph (number of completed rounds).
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    fn edge_index(&self, round: u32, from: AgentId, to: AgentId) -> usize {
+        debug_assert!(round >= 1 && round <= self.time, "round {round} out of 1..={}", self.time);
+        let n = self.n();
+        (round as usize - 1) * n * n + from.index() * n + to.index()
+    }
+
+    /// The label of the edge `(from, round-1) → (to, round)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `round` is not in `1..=time`.
+    pub fn edge(&self, round: u32, from: AgentId, to: AgentId) -> EdgeLabel {
+        self.edges[self.edge_index(round, from, to)]
+    }
+
+    /// Sets an edge label (merging with any existing knowledge).
+    pub fn set_edge(&mut self, round: u32, from: AgentId, to: AgentId, label: EdgeLabel) {
+        let idx = self.edge_index(round, from, to);
+        self.edges[idx] = self.edges[idx].merge(label);
+    }
+
+    /// The preference label of `agent`.
+    pub fn pref(&self, agent: AgentId) -> PrefLabel {
+        self.prefs[agent.index()]
+    }
+
+    /// Merges all knowledge from `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` covers more rounds than `self` or describes a
+    /// different number of agents.
+    pub fn merge_from(&mut self, other: &CommGraph) {
+        assert_eq!(self.n, other.n, "agent-count mismatch in graph merge");
+        assert!(
+            other.time <= self.time,
+            "cannot merge a newer graph (time {}) into time {}",
+            other.time,
+            self.time
+        );
+        for (p, o) in self.prefs.iter_mut().zip(&other.prefs) {
+            *p = p.merge(*o);
+        }
+        for (idx, o) in other.edges.iter().enumerate() {
+            // `other`'s edge layout is a prefix of `self`'s.
+            self.edges[idx] = self.edges[idx].merge(*o);
+        }
+    }
+
+    /// The `δ` operation of the full-information exchange: produces
+    /// `G_{owner, m+1}` from `G_{owner, m}` and the tuple of graphs received
+    /// in round `m + 1` (entry `j` is the graph sent by agent `j`, `None`
+    /// if no message arrived, which marks `j → owner` as omitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len()` differs from `n` or a received graph is
+    /// not at time `m` (all agents are synchronous).
+    pub fn receive_round(&self, owner: AgentId, received: &[Option<&CommGraph>]) -> CommGraph {
+        let n = self.n();
+        assert_eq!(received.len(), n, "expected one slot per agent");
+        let mut next = CommGraph {
+            n: self.n,
+            time: self.time + 1,
+            prefs: self.prefs.clone(),
+            edges: {
+                let mut e = self.edges.clone();
+                e.extend(std::iter::repeat_n(EdgeLabel::Unknown, n * n));
+                e
+            },
+        };
+        let new_round = next.time;
+        #[allow(clippy::needless_range_loop)] // j is a sender id, used both as index and AgentId
+        for j in 0..n {
+            let from = AgentId::new(j);
+            match received[j] {
+                Some(g) => {
+                    assert_eq!(
+                        g.time, self.time,
+                        "received a graph from a different round"
+                    );
+                    next.merge_from(g);
+                    next.set_edge(new_round, from, owner, EdgeLabel::Delivered);
+                }
+                None => {
+                    next.set_edge(new_round, from, owner, EdgeLabel::Dropped);
+                }
+            }
+        }
+        next
+    }
+
+    /// The number of information bits in this graph: two bits per edge
+    /// label and two per preference label (`{0, 1, ?}` fits in two bits).
+    /// This is the `O(n² t)`-per-message / `O(n⁴ t²)`-per-run accounting
+    /// that Section 8 compares against.
+    pub fn size_bits(&self) -> u64 {
+        2 * (self.prefs.len() as u64 + self.edges.len() as u64)
+    }
+
+    /// Reassembles a graph from raw parts (the inverse of
+    /// [`CommGraph::pref_labels`] / [`CommGraph::edge_labels`]), used by
+    /// wire codecs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefs.len() != n` or `edges.len() != time * n²`.
+    pub fn from_parts(
+        n: usize,
+        time: u32,
+        prefs: Vec<PrefLabel>,
+        edges: Vec<EdgeLabel>,
+    ) -> CommGraph {
+        assert_eq!(prefs.len(), n, "preference label count");
+        assert_eq!(edges.len(), time as usize * n * n, "edge label count");
+        CommGraph {
+            n: n as u16,
+            time,
+            prefs,
+            edges,
+        }
+    }
+
+    /// The raw preference labels, one per agent.
+    pub fn pref_labels(&self) -> &[PrefLabel] {
+        &self.prefs
+    }
+
+    /// The raw edge labels, laid out `(round - 1) * n² + from * n + to`.
+    pub fn edge_labels(&self) -> &[EdgeLabel] {
+        &self.edges
+    }
+
+    /// Iterates over all `(round, from, to)` triples with a known label.
+    pub fn known_edges(&self) -> impl Iterator<Item = (u32, AgentId, AgentId, EdgeLabel)> + '_ {
+        let n = self.n();
+        self.edges.iter().enumerate().filter_map(move |(idx, &l)| {
+            if l.is_known() {
+                let round = (idx / (n * n)) as u32 + 1;
+                let rem = idx % (n * n);
+                Some((round, AgentId::new(rem / n), AgentId::new(rem % n), l))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl fmt::Debug for CommGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CommGraph(n={}, time={})", self.n, self.time)?;
+        write!(f, "  prefs: [")?;
+        for (i, p) in self.prefs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, "]")?;
+        for round in 1..=self.time {
+            write!(f, "  round {round}:")?;
+            for from in AgentId::all(self.n()) {
+                write!(f, " {from}→[")?;
+                for to in AgentId::all(self.n()) {
+                    write!(f, "{}", self.edge(round, from, to))?;
+                }
+                write!(f, "]")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AgentId {
+        AgentId::new(i)
+    }
+
+    /// Runs one synchronous full-information round among `n` agents with a
+    /// delivery predicate, returning the next graphs.
+    pub(crate) fn fip_round(
+        graphs: &[CommGraph],
+        delivers: impl Fn(AgentId, AgentId) -> bool,
+    ) -> Vec<CommGraph> {
+        let n = graphs.len();
+        (0..n)
+            .map(|to| {
+                let received: Vec<Option<&CommGraph>> = (0..n)
+                    .map(|from| {
+                        if delivers(a(from), a(to)) {
+                            Some(&graphs[from])
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                graphs[to].receive_round(a(to), &received)
+            })
+            .collect()
+    }
+
+    fn initial_graphs(inits: &[Value]) -> Vec<CommGraph> {
+        inits
+            .iter()
+            .enumerate()
+            .map(|(i, v)| CommGraph::initial(inits.len(), a(i), *v))
+            .collect()
+    }
+
+    #[test]
+    fn initial_graph_knows_only_own_pref() {
+        let g = CommGraph::initial(4, a(2), Value::Zero);
+        for i in 0..4 {
+            if i == 2 {
+                assert_eq!(g.pref(a(i)), PrefLabel::Known(Value::Zero));
+            } else {
+                assert_eq!(g.pref(a(i)), PrefLabel::Unknown);
+            }
+        }
+        assert_eq!(g.size_bits(), 8);
+    }
+
+    #[test]
+    fn failure_free_round_learns_everything() {
+        let graphs = initial_graphs(&[Value::Zero, Value::One, Value::One]);
+        let next = fip_round(&graphs, |_, _| true);
+        for g in &next {
+            assert_eq!(g.time(), 1);
+            // Everyone knows all prefs after one failure-free round.
+            assert_eq!(g.pref(a(0)), PrefLabel::Known(Value::Zero));
+            assert_eq!(g.pref(a(1)), PrefLabel::Known(Value::One));
+            // All incoming edges of every agent are labeled for the owner's
+            // own row; other rows are known via relays only after round 2.
+        }
+        // Owner 0 knows its own incoming row.
+        for from in 0..3 {
+            assert_eq!(next[0].edge(1, a(from), a(0)), EdgeLabel::Delivered);
+        }
+        // Owner 0 cannot yet know what agent 1 received in round 1 (those
+        // labels travel inside agent 1's round-2 message).
+        assert_eq!(next[0].edge(1, a(2), a(1)), EdgeLabel::Unknown);
+    }
+
+    #[test]
+    fn dropped_message_is_recorded_and_relayed() {
+        let graphs = initial_graphs(&[Value::One, Value::One, Value::One]);
+        // Agent 0 omits its round-1 message to agent 1 only.
+        let r1 = fip_round(&graphs, |from, to| !(from == a(0) && to == a(1)));
+        assert_eq!(r1[1].edge(1, a(0), a(1)), EdgeLabel::Dropped);
+        assert_eq!(r1[2].edge(1, a(0), a(2)), EdgeLabel::Delivered);
+        // Agent 2 does not yet know about the omission…
+        assert_eq!(r1[2].edge(1, a(0), a(1)), EdgeLabel::Unknown);
+        // …but learns it from agent 1's round-2 message.
+        let r2 = fip_round(&r1, |_, _| true);
+        assert_eq!(r2[2].edge(1, a(0), a(1)), EdgeLabel::Dropped);
+        // And agent 1 learned 0's preference via agent 2's relay.
+        assert_eq!(r2[1].pref(a(0)), PrefLabel::Known(Value::One));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_monotone() {
+        let graphs = initial_graphs(&[Value::Zero, Value::One, Value::One]);
+        let r1 = fip_round(&graphs, |from, to| !(from == a(0) && to == a(1)));
+        let mut merged = r1[1].clone();
+        merged.merge_from(&graphs[2]); // older graph merges fine
+        let again = {
+            let mut m = merged.clone();
+            m.merge_from(&graphs[2]);
+            m
+        };
+        assert_eq!(merged, again, "merge must be idempotent");
+        // Monotone: merging never erases knowledge.
+        let known_before: Vec<_> = r1[1].known_edges().collect();
+        for (round, from, to, label) in known_before {
+            assert_eq!(merged.edge(round, from, to), label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a newer graph")]
+    fn merge_rejects_newer_graph() {
+        let graphs = initial_graphs(&[Value::One, Value::One]);
+        let r1 = fip_round(&graphs, |_, _| true);
+        let mut old = graphs[0].clone();
+        old.merge_from(&r1[0]);
+    }
+
+    #[test]
+    fn known_edges_enumeration() {
+        let graphs = initial_graphs(&[Value::One, Value::One]);
+        let r1 = fip_round(&graphs, |from, to| !(from == a(1) && to == a(0)));
+        let known: Vec<_> = r1[0].known_edges().collect();
+        // Agent 0 knows both of its incoming edges (one delivered, one dropped).
+        assert_eq!(known.len(), 2);
+        assert!(known.contains(&(1, a(0), a(0), EdgeLabel::Delivered)));
+        assert!(known.contains(&(1, a(1), a(0), EdgeLabel::Dropped)));
+    }
+
+    #[test]
+    fn size_bits_grows_quadratically_per_round() {
+        let graphs = initial_graphs(&[Value::One; 5]);
+        let r1 = fip_round(&graphs, |_, _| true);
+        let r2 = fip_round(&r1, |_, _| true);
+        assert_eq!(graphs[0].size_bits(), 2 * 5);
+        assert_eq!(r1[0].size_bits(), 2 * (5 + 25));
+        assert_eq!(r2[0].size_bits(), 2 * (5 + 50));
+    }
+}

@@ -1,0 +1,134 @@
+//! Edge and preference labels of communication graphs.
+
+use std::fmt;
+
+use crate::types::Value;
+
+/// What an agent knows about a potential message (an edge of the
+/// communication graph): delivered, omitted, or unknown (`?`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum EdgeLabel {
+    /// The observer does not know whether the message was sent/delivered.
+    #[default]
+    Unknown,
+    /// The observer knows the message was delivered (label `1`).
+    Delivered,
+    /// The observer knows the message was omitted (label `0`). Under
+    /// sending omissions this is evidence that the sender is faulty.
+    Dropped,
+}
+
+impl EdgeLabel {
+    /// Merges knowledge from another observer. Known labels win over
+    /// `Unknown`; two known labels must agree (they describe the same run).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if both labels are known but disagree,
+    /// which cannot happen for graphs arising from a single run.
+    pub fn merge(self, other: EdgeLabel) -> EdgeLabel {
+        match (self, other) {
+            (EdgeLabel::Unknown, o) => o,
+            (s, EdgeLabel::Unknown) => s,
+            (s, o) => {
+                debug_assert_eq!(s, o, "inconsistent edge labels from one run");
+                s
+            }
+        }
+    }
+
+    /// Whether the label carries information (is not `?`).
+    pub fn is_known(self) -> bool {
+        self != EdgeLabel::Unknown
+    }
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeLabel::Unknown => write!(f, "?"),
+            EdgeLabel::Delivered => write!(f, "1"),
+            EdgeLabel::Dropped => write!(f, "0"),
+        }
+    }
+}
+
+/// What an agent knows about another agent's initial preference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PrefLabel {
+    /// The initial preference is unknown (`?`).
+    #[default]
+    Unknown,
+    /// The initial preference is known to be this value.
+    Known(Value),
+}
+
+impl PrefLabel {
+    /// Merges knowledge from another observer (see [`EdgeLabel::merge`]).
+    pub fn merge(self, other: PrefLabel) -> PrefLabel {
+        match (self, other) {
+            (PrefLabel::Unknown, o) => o,
+            (s, PrefLabel::Unknown) => s,
+            (s, o) => {
+                debug_assert_eq!(s, o, "inconsistent preference labels from one run");
+                s
+            }
+        }
+    }
+
+    /// The known value, if any.
+    pub fn value(self) -> Option<Value> {
+        match self {
+            PrefLabel::Unknown => None,
+            PrefLabel::Known(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for PrefLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefLabel::Unknown => write!(f, "?"),
+            PrefLabel::Known(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_merge_prefers_information() {
+        assert_eq!(
+            EdgeLabel::Unknown.merge(EdgeLabel::Delivered),
+            EdgeLabel::Delivered
+        );
+        assert_eq!(
+            EdgeLabel::Dropped.merge(EdgeLabel::Unknown),
+            EdgeLabel::Dropped
+        );
+        assert_eq!(
+            EdgeLabel::Delivered.merge(EdgeLabel::Delivered),
+            EdgeLabel::Delivered
+        );
+        assert_eq!(EdgeLabel::Unknown.merge(EdgeLabel::Unknown), EdgeLabel::Unknown);
+    }
+
+    #[test]
+    fn pref_merge_and_value() {
+        let k0 = PrefLabel::Known(Value::Zero);
+        assert_eq!(PrefLabel::Unknown.merge(k0), k0);
+        assert_eq!(k0.merge(PrefLabel::Unknown), k0);
+        assert_eq!(k0.value(), Some(Value::Zero));
+        assert_eq!(PrefLabel::Unknown.value(), None);
+    }
+
+    #[test]
+    fn labels_display_like_the_paper() {
+        assert_eq!(EdgeLabel::Unknown.to_string(), "?");
+        assert_eq!(EdgeLabel::Delivered.to_string(), "1");
+        assert_eq!(EdgeLabel::Dropped.to_string(), "0");
+        assert_eq!(PrefLabel::Known(Value::One).to_string(), "1");
+    }
+}

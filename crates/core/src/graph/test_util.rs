@@ -1,0 +1,45 @@
+//! Test helpers: drive full-information rounds without the simulator crate.
+
+use crate::types::{AgentId, Value};
+
+use super::CommGraph;
+
+/// One initial graph per agent.
+pub(crate) fn initial_graphs(inits: &[Value]) -> Vec<CommGraph> {
+    inits
+        .iter()
+        .enumerate()
+        .map(|(i, v)| CommGraph::initial(inits.len(), AgentId::new(i), *v))
+        .collect()
+}
+
+/// Runs one synchronous full-information round with a delivery predicate.
+pub(crate) fn fip_round(
+    graphs: &[CommGraph],
+    delivers: impl Fn(AgentId, AgentId) -> bool,
+) -> Vec<CommGraph> {
+    let n = graphs.len();
+    (0..n)
+        .map(|to| {
+            let received: Vec<Option<&CommGraph>> = (0..n)
+                .map(|from| {
+                    if delivers(AgentId::new(from), AgentId::new(to)) {
+                        Some(&graphs[from])
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            graphs[to].receive_round(AgentId::new(to), &received)
+        })
+        .collect()
+}
+
+/// Runs `rounds` failure-free full-information rounds.
+pub(crate) fn fip_rounds_failure_free(inits: &[Value], rounds: u32) -> Vec<CommGraph> {
+    let mut graphs = initial_graphs(inits);
+    for _ in 0..rounds {
+        graphs = fip_round(&graphs, |_, _| true);
+    }
+    graphs
+}

@@ -1,0 +1,49 @@
+//! Action protocols (Section 3): the decision-making half of an EBA
+//! protocol.
+//!
+//! An action protocol `P_i : L_i → A_i` maps each local state of its
+//! information-exchange protocol to an action. This module provides the
+//! paper's three concrete protocols — [`PMin`] (Thm 6.5), [`PBasic`]
+//! (Thm 6.6), and [`POpt`] (Prop 7.9) — plus the naive 0-biased protocol
+//! that the introduction shows violates Agreement under omission failures.
+
+mod naive;
+mod pbasic;
+mod pmin;
+mod popt;
+
+pub use naive::NaiveZeroBiased;
+pub use pbasic::PBasic;
+pub use pmin::PMin;
+pub use popt::POpt;
+
+use crate::exchange::InformationExchange;
+use crate::types::{Action, AgentId};
+
+/// An action protocol for the information-exchange protocol `E`.
+pub trait ActionProtocol<E: InformationExchange> {
+    /// A short human-readable name, e.g. `"P_min"`.
+    fn name(&self) -> &'static str;
+
+    /// The action `agent` performs in local state `state`.
+    ///
+    /// Implementations must be deterministic functions of the local state
+    /// (this is what makes decisions reconstructible under the
+    /// full-information exchange) and must return [`Action::Noop`] once
+    /// the state records a decision (Unique Decision).
+    fn act(&self, agent: AgentId, state: &E::State) -> Action;
+}
+
+impl<E, P> ActionProtocol<E> for &P
+where
+    E: InformationExchange,
+    P: ActionProtocol<E> + ?Sized,
+{
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn act(&self, agent: AgentId, state: &E::State) -> Action {
+        (**self).act(agent, state)
+    }
+}

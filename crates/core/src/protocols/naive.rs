@@ -1,0 +1,97 @@
+//! The naive 0-biased protocol from the paper's introduction — correct for
+//! crash failures, **incorrect** under omission failures.
+
+use crate::exchange::{NaiveExchange, NaiveState};
+use crate::types::{Action, AgentId, Params, Value};
+
+use super::ActionProtocol;
+
+/// Decide 0 as soon as you learn that *some* agent had initial preference
+/// 0; decide 1 at time `t + 1` otherwise.
+///
+/// With crash failures this is a correct (and optimal) 0-biased EBA
+/// protocol. With omission failures it violates Agreement: a faulty agent
+/// can stay silent and reveal its 0 to a single agent in round `t + 1`,
+/// splitting the nonfaulty decisions (the runs `r`/`r'` of the paper's
+/// introduction). Experiment E8 reproduces the violation; the fix is the
+/// 0-*chain* rule used by `P0` and all the real protocols in this crate.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveZeroBiased {
+    params: Params,
+}
+
+impl NaiveZeroBiased {
+    /// Creates the naive protocol for the given parameters.
+    pub fn new(params: Params) -> Self {
+        NaiveZeroBiased { params }
+    }
+}
+
+impl ActionProtocol<NaiveExchange> for NaiveZeroBiased {
+    fn name(&self) -> &'static str {
+        "P_naive"
+    }
+
+    fn act(&self, _agent: AgentId, state: &NaiveState) -> Action {
+        if state.decided.is_some() {
+            return Action::Noop;
+        }
+        if state.knows_zero {
+            return Action::Decide(Value::Zero);
+        }
+        if state.time > self.params.t() as u32 {
+            return Action::Decide(Value::One);
+        }
+        Action::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> NaiveZeroBiased {
+        NaiveZeroBiased::new(Params::new(3, 1).unwrap())
+    }
+
+    fn state(time: u32, init: Value, decided: Option<Value>, knows_zero: bool) -> NaiveState {
+        NaiveState {
+            time,
+            init,
+            decided,
+            knows_zero,
+        }
+    }
+
+    #[test]
+    fn decides_zero_on_any_zero_knowledge() {
+        assert_eq!(
+            p().act(AgentId::new(0), &state(0, Value::Zero, None, true)),
+            Action::Decide(Value::Zero)
+        );
+        assert_eq!(
+            p().act(AgentId::new(0), &state(2, Value::One, None, true)),
+            Action::Decide(Value::Zero)
+        );
+    }
+
+    #[test]
+    fn decides_one_at_deadline() {
+        assert_eq!(
+            p().act(AgentId::new(0), &state(2, Value::One, None, false)),
+            Action::Decide(Value::One)
+        );
+        assert_eq!(
+            p().act(AgentId::new(0), &state(1, Value::One, None, false)),
+            Action::Noop
+        );
+    }
+
+    #[test]
+    fn decided_noops() {
+        assert_eq!(
+            p().act(AgentId::new(0), &state(3, Value::One, Some(Value::One), true)),
+            Action::Noop
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! `P_basic`: the optimal action protocol for the basic context
+//! `γ_basic,n,t` (Theorem 6.6, Corollary 6.7).
+
+use crate::exchange::{BasicExchange, BasicState};
+use crate::types::{Action, AgentId, Params, Value};
+
+use super::ActionProtocol;
+
+/// The `P_basic` program of Section 6:
+///
+/// ```text
+/// if decided ≠ ⊥                      then noop
+/// else if init = 0 ∨ jd = 0           then decide(0)
+/// else if #1 > n − time ∨ jd = 1      then decide(1)
+/// else noop
+/// ```
+///
+/// The count `#1` of `(init, 1)` messages received in the last round lets
+/// an agent rule out hidden 0-chains much earlier than `P_min`'s `t + 1`
+/// deadline: a 0-chain of length `time` can only pass through agents that
+/// never broadcast `(init, 1)`, so `#1 > n − time` leaves too few agents
+/// to carry one. `P_basic` implements `P0` in `γ_basic,n,t` when
+/// `t ≤ n − 2` (Theorem 6.6), hence is optimal in that context
+/// (Corollary 6.7).
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use eba_core::protocols::ActionProtocol;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(4, 1)?;
+/// let p = PBasic::new(params);
+/// let s = BasicState {
+///     time: 1, init: Value::One, decided: None, jd: None, ones: 4,
+/// };
+/// // #1 = 4 > n − time = 3: no hidden 0-chain can exist.
+/// assert_eq!(p.act(AgentId::new(0), &s), Action::Decide(Value::One));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PBasic {
+    params: Params,
+}
+
+impl PBasic {
+    /// Creates `P_basic` for the given parameters.
+    pub fn new(params: Params) -> Self {
+        PBasic { params }
+    }
+}
+
+impl ActionProtocol<BasicExchange> for PBasic {
+    fn name(&self) -> &'static str {
+        "P_basic"
+    }
+
+    fn act(&self, _agent: AgentId, state: &BasicState) -> Action {
+        if state.decided.is_some() {
+            return Action::Noop;
+        }
+        if state.init == Value::Zero || state.jd == Some(Value::Zero) {
+            return Action::Decide(Value::Zero);
+        }
+        let n = self.params.n() as i64;
+        if state.ones as i64 > n - state.time as i64 || state.jd == Some(Value::One) {
+            return Action::Decide(Value::One);
+        }
+        Action::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(time: u32, init: Value, decided: Option<Value>, jd: Option<Value>, ones: u16) -> BasicState {
+        BasicState {
+            time,
+            init,
+            decided,
+            jd,
+            ones,
+        }
+    }
+
+    fn p() -> PBasic {
+        PBasic::new(Params::new(5, 2).unwrap())
+    }
+
+    fn act(s: &BasicState) -> Action {
+        p().act(AgentId::new(0), s)
+    }
+
+    #[test]
+    fn decided_state_noops() {
+        let s = state(2, Value::One, Some(Value::One), None, 5);
+        assert_eq!(act(&s), Action::Noop);
+    }
+
+    #[test]
+    fn zero_rules_take_priority() {
+        assert_eq!(
+            act(&state(0, Value::Zero, None, None, 0)),
+            Action::Decide(Value::Zero)
+        );
+        // jd = 0 wins even when the #1 threshold is met.
+        assert_eq!(
+            act(&state(1, Value::One, None, Some(Value::Zero), 5)),
+            Action::Decide(Value::Zero)
+        );
+    }
+
+    #[test]
+    fn ones_threshold_is_strict() {
+        // n = 5, time = 1: decide iff #1 > 4.
+        assert_eq!(act(&state(1, Value::One, None, None, 4)), Action::Noop);
+        assert_eq!(
+            act(&state(1, Value::One, None, None, 5)),
+            Action::Decide(Value::One)
+        );
+    }
+
+    #[test]
+    fn threshold_loosens_over_time() {
+        // time = 3: #1 > 2 suffices.
+        assert_eq!(
+            act(&state(3, Value::One, None, None, 3)),
+            Action::Decide(Value::One)
+        );
+        assert_eq!(act(&state(3, Value::One, None, None, 2)), Action::Noop);
+    }
+
+    #[test]
+    fn heard_one_decides_one() {
+        assert_eq!(
+            act(&state(2, Value::One, None, Some(Value::One), 0)),
+            Action::Decide(Value::One)
+        );
+    }
+
+    #[test]
+    fn time_beyond_n_always_passes_threshold() {
+        // n − time goes negative: any count (even 0) exceeds it. This is
+        // the degenerate tail of the rule; reachable states decide earlier.
+        assert_eq!(
+            act(&state(6, Value::One, None, None, 0)),
+            Action::Decide(Value::One)
+        );
+    }
+}

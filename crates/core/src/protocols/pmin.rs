@@ -1,0 +1,128 @@
+//! `P_min`: the optimal action protocol for the minimal context
+//! `γ_min,n,t` (Theorem 6.5, Corollary 6.7).
+
+use crate::exchange::{MinExchange, MinState};
+use crate::types::{Action, AgentId, Params, Value};
+
+use super::ActionProtocol;
+
+/// The `P_min` program of Section 6:
+///
+/// ```text
+/// if decided ≠ ⊥                 then noop
+/// else if init = 0 ∨ jd = 0      then decide(0)
+/// else if time = t + 1           then decide(1)
+/// else noop
+/// ```
+///
+/// It implements the knowledge-based program `P0` in `γ_min,n,t` when
+/// `t ≤ n − 2` (Theorem 6.5), hence is optimal with respect to that
+/// context (Corollary 6.7).
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use eba_core::protocols::ActionProtocol;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(4, 1)?;
+/// let ex = MinExchange::new(params);
+/// let p = PMin::new(params);
+/// let zero = ex.initial_state(AgentId::new(0), Value::Zero);
+/// assert_eq!(p.act(AgentId::new(0), &zero), Action::Decide(Value::Zero));
+/// let one = ex.initial_state(AgentId::new(1), Value::One);
+/// assert_eq!(p.act(AgentId::new(1), &one), Action::Noop);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PMin {
+    params: Params,
+}
+
+impl PMin {
+    /// Creates `P_min` for the given parameters.
+    pub fn new(params: Params) -> Self {
+        PMin { params }
+    }
+}
+
+impl ActionProtocol<MinExchange> for PMin {
+    fn name(&self) -> &'static str {
+        "P_min"
+    }
+
+    fn act(&self, _agent: AgentId, state: &MinState) -> Action {
+        if state.decided.is_some() {
+            return Action::Noop;
+        }
+        if state.init == Value::Zero || state.jd == Some(Value::Zero) {
+            return Action::Decide(Value::Zero);
+        }
+        // The program tests `time = t + 1`; `>=` is equivalent on reachable
+        // states (all agents decide by then) and defensive elsewhere.
+        if state.time > self.params.t() as u32 {
+            return Action::Decide(Value::One);
+        }
+        Action::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(time: u32, init: Value, decided: Option<Value>, jd: Option<Value>) -> MinState {
+        MinState {
+            time,
+            init,
+            decided,
+            jd,
+        }
+    }
+
+    fn p() -> PMin {
+        PMin::new(Params::new(4, 2).unwrap())
+    }
+
+    #[test]
+    fn decided_state_noops_forever() {
+        for v in Value::ALL {
+            let s = state(1, Value::Zero, Some(v), Some(Value::Zero));
+            assert_eq!(p().act(AgentId::new(0), &s), Action::Noop);
+        }
+    }
+
+    #[test]
+    fn zero_preference_decides_immediately() {
+        let s = state(0, Value::Zero, None, None);
+        assert_eq!(p().act(AgentId::new(0), &s), Action::Decide(Value::Zero));
+    }
+
+    #[test]
+    fn heard_zero_decides_zero_even_at_deadline() {
+        // jd = 0 takes priority over the time = t + 1 rule.
+        let s = state(3, Value::One, None, Some(Value::Zero));
+        assert_eq!(p().act(AgentId::new(0), &s), Action::Decide(Value::Zero));
+    }
+
+    #[test]
+    fn deadline_decides_one() {
+        let s = state(3, Value::One, None, None);
+        assert_eq!(p().act(AgentId::new(0), &s), Action::Decide(Value::One));
+    }
+
+    #[test]
+    fn waits_before_deadline() {
+        for time in 0..3 {
+            let s = state(time, Value::One, None, None);
+            assert_eq!(p().act(AgentId::new(0), &s), Action::Noop, "time {time}");
+        }
+    }
+
+    #[test]
+    fn heard_one_is_ignored_by_pmin() {
+        // E_min carries 1-decisions, but P_min does not act on them early.
+        let s = state(1, Value::One, None, Some(Value::One));
+        assert_eq!(p().act(AgentId::new(0), &s), Action::Noop);
+    }
+}

@@ -1,0 +1,238 @@
+//! A compact growable bitset, used for vertex sets of communication graphs
+//! and point sets of interpreted systems.
+
+use std::fmt;
+
+/// A fixed-capacity bitset over `0..len`.
+///
+/// ```
+/// use eba_core::types::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3) && s.contains(64) && !s.contains(65));
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset with capacity for indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The capacity (number of addressable indices).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes index `i`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether index `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+    }
+
+    /// Sets all bits in `0..capacity`.
+    pub fn fill(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Inverts all bits in `0..capacity`.
+    pub fn invert(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Iterates over set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(129);
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(65);
+        b.insert(2);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 3);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![65]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(3);
+        b.insert(3);
+        b.insert(7);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(BitSet::new(10).is_subset(&a));
+    }
+
+    #[test]
+    fn invert_respects_capacity() {
+        let mut s = BitSet::new(70);
+        s.insert(1);
+        s.invert();
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 69);
+        s.invert();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn fill_respects_capacity() {
+        let mut s = BitSet::new(67);
+        s.fill();
+        assert_eq!(s.count(), 67);
+        assert!(!s.contains(67));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_order() {
+        let mut s = BitSet::new(200);
+        for i in [199, 0, 63, 64, 128] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = BitSet::new(5);
+        s.insert(5);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut s = BitSet::new(8);
+        s.insert(2);
+        assert_eq!(format!("{s:?}"), "{2}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by this crate's constructors and builders.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EbaError {
+    /// Invalid `(n, t)` parameters.
+    InvalidParams(String),
+    /// An invalid failure pattern (e.g., a drop attributed to a nonfaulty
+    /// sender, which the sending-omissions model forbids).
+    InvalidPattern(String),
+    /// An input of the wrong shape (e.g., an initial-preference vector whose
+    /// length differs from `n`).
+    InvalidInput(String),
+}
+
+impl fmt::Display for EbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EbaError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            EbaError::InvalidPattern(msg) => write!(f, "invalid failure pattern: {msg}"),
+            EbaError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for EbaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = EbaError::InvalidParams("t too big".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid parameters"));
+        assert!(s.contains("t too big"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<EbaError>();
+    }
+}

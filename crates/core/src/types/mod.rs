@@ -1,0 +1,13 @@
+//! Shared vocabulary: agents, values, actions, parameters, bitsets.
+
+mod agent;
+mod bitset;
+mod error;
+mod params;
+mod value;
+
+pub use agent::{subsets_of_size, subsets_up_to_size, AgentId, AgentSet};
+pub use bitset::BitSet;
+pub use error::EbaError;
+pub use params::Params;
+pub use value::{Action, Value};

@@ -1,0 +1,135 @@
+//! Parameters of the `SO(t)` failure environment.
+
+use std::fmt;
+
+use super::{AgentId, EbaError};
+
+/// Parameters of an EBA instance: `n` agents, at most `t` of which may be
+/// faulty in the sending-omissions failure model `SO(t)`.
+///
+/// The paper's correctness results require `t < n`; the optimality results
+/// for the limited-information contexts additionally require `n − t ≥ 2`
+/// (Prop 6.4), reported by [`Params::supports_optimality`].
+///
+/// ```
+/// use eba_core::types::Params;
+///
+/// # fn main() -> Result<(), eba_core::types::EbaError> {
+/// let p = Params::new(5, 2)?;
+/// assert_eq!(p.n(), 5);
+/// assert_eq!(p.t(), 2);
+/// assert_eq!(p.decide_by_round(), 4); // all agents decide by round t + 2
+/// assert!(p.supports_optimality());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Params {
+    n: u16,
+    t: u16,
+}
+
+impl Params {
+    /// Creates parameters for `n` agents with at most `t` faulty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidParams`] unless `1 ≤ n ≤ 128` and `t < n`.
+    pub fn new(n: usize, t: usize) -> Result<Params, EbaError> {
+        if n == 0 || n > AgentId::MAX_AGENTS {
+            return Err(EbaError::InvalidParams(format!(
+                "n = {n} out of range 1..={}",
+                AgentId::MAX_AGENTS
+            )));
+        }
+        if t >= n {
+            return Err(EbaError::InvalidParams(format!(
+                "t = {t} must be smaller than n = {n}"
+            )));
+        }
+        Ok(Params {
+            n: n as u16,
+            t: t as u16,
+        })
+    }
+
+    /// The number of agents.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The maximum number of faulty agents.
+    pub fn t(&self) -> usize {
+        self.t as usize
+    }
+
+    /// Iterates over all agents.
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> + Clone {
+        AgentId::all(self.n())
+    }
+
+    /// The round by which every agent decides under the paper's protocols:
+    /// `t + 2` (Prop 6.1 / Prop 7.3).
+    pub fn decide_by_round(&self) -> u32 {
+        self.t as u32 + 2
+    }
+
+    /// A horizon (number of rounds to simulate) sufficient to observe all
+    /// decisions plus one extra round, so that "deciding" (`◯decided`) is
+    /// evaluable at the last decision time: `t + 3`.
+    pub fn default_horizon(&self) -> u32 {
+        self.t as u32 + 3
+    }
+
+    /// Whether the optimality results for the limited-information contexts
+    /// apply (`n − t ≥ 2`, Prop 6.4).
+    pub fn supports_optimality(&self) -> bool {
+        self.n() - self.t() >= 2
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(n = {}, t = {})", self.n, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = Params::new(4, 1).unwrap();
+        assert_eq!(p.n(), 4);
+        assert_eq!(p.t(), 1);
+        assert_eq!(p.agents().count(), 4);
+        assert_eq!(p.decide_by_round(), 3);
+        assert_eq!(p.default_horizon(), 4);
+        assert_eq!(p.to_string(), "(n = 4, t = 1)");
+    }
+
+    #[test]
+    fn rejects_zero_agents() {
+        assert!(Params::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_t_geq_n() {
+        assert!(Params::new(3, 3).is_err());
+        assert!(Params::new(3, 4).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_agents() {
+        assert!(Params::new(129, 1).is_err());
+        assert!(Params::new(128, 1).is_ok());
+    }
+
+    #[test]
+    fn optimality_boundary() {
+        assert!(Params::new(4, 2).unwrap().supports_optimality());
+        assert!(!Params::new(4, 3).unwrap().supports_optimality());
+        assert!(Params::new(2, 0).unwrap().supports_optimality());
+    }
+}

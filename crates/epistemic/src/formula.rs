@@ -1,0 +1,386 @@
+//! The logic of knowledge and (bounded) time used in the paper's
+//! specifications and knowledge-based programs.
+//!
+//! Formulas are evaluated set-wise over an [`InterpretedSystem`]: `eval`
+//! returns the set of points satisfying the formula. Temporal operators
+//! use *bounded* semantics at the horizon — `◯φ` is false at the last
+//! time, `□φ` quantifies within the horizon. Systems are generated with a
+//! horizon (`t + 3`) beyond the last possible decision (`t + 2`), and the
+//! knowledge-based-program checks only interrogate times where this is
+//! sound.
+
+use eba_core::exchange::InformationExchange;
+use eba_core::types::{AgentId, BitSet, Value};
+
+use crate::system::{InterpretedSystem, PointId};
+
+/// A formula of the epistemic-temporal logic.
+///
+/// Propositions are those of EBA contexts (Section 5): initial
+/// preferences, decision status, time, membership in the nonfaulty set,
+/// plus the derived `jdecided` ("just decided") and `deciding` forms used
+/// by the programs `P0`/`P1`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// `init_i = v`.
+    InitIs(AgentId, Value),
+    /// `decided_i = v` (`None` is `⊥`).
+    DecidedIs(AgentId, Option<Value>),
+    /// `time = k` (systems are synchronous, so time is global).
+    TimeIs(u32),
+    /// `i ∈ N`.
+    Nonfaulty(AgentId),
+    /// `∃v ≡ ⋁_j init_j = v`.
+    ExistsInit(Value),
+    /// `jdecided_i = v ≡ decided_i = v ∧ ⊖(decided_i = ⊥)`.
+    JustDecided(AgentId, Value),
+    /// `deciding_i = v ≡ decided_i = ⊥ ∧ ◯(decided_i = v)`.
+    Deciding(AgentId, Value),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// `K_i φ`.
+    Knows(AgentId, Box<Formula>),
+    /// `E_N φ` — everyone in the (indexical) nonfaulty set knows `φ`.
+    EveryoneNonfaulty(Box<Formula>),
+    /// `C_N φ` — common knowledge among the nonfaulty.
+    CommonNonfaulty(Box<Formula>),
+    /// `◯φ` (false at the horizon).
+    Next(Box<Formula>),
+    /// `⊖φ` (false at time 0).
+    Prev(Box<Formula>),
+    /// `□φ` — at all times `≥` now, within the horizon.
+    Henceforth(Box<Formula>),
+    /// `♦φ` — at some time `≥` now, within the horizon.
+    Eventually(Box<Formula>),
+}
+
+impl Formula {
+    /// `¬φ`.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, deliberately named like the paper's ¬
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `φ ⇒ ψ`.
+    pub fn implies(f: Formula, g: Formula) -> Formula {
+        Formula::Or(vec![Formula::not(f), g])
+    }
+
+    /// `K_i φ`.
+    pub fn knows(agent: AgentId, f: Formula) -> Formula {
+        Formula::Knows(agent, Box::new(f))
+    }
+
+    /// `C_N φ`.
+    pub fn common_nonfaulty(f: Formula) -> Formula {
+        Formula::CommonNonfaulty(Box::new(f))
+    }
+
+    /// `⋁_{j ∈ Agt} jdecided_j = v`.
+    pub fn someone_just_decided(n: usize, v: Value) -> Formula {
+        Formula::Or(
+            AgentId::all(n)
+                .map(|j| Formula::JustDecided(j, v))
+                .collect(),
+        )
+    }
+
+    /// `⋀_{j ∈ Agt} ¬(deciding_j = v)`.
+    pub fn nobody_deciding(n: usize, v: Value) -> Formula {
+        Formula::And(
+            AgentId::all(n)
+                .map(|j| Formula::not(Formula::Deciding(j, v)))
+                .collect(),
+        )
+    }
+
+    /// `no-decided_N(v) ≡ ⋀_j (j ∈ N ⇒ ¬(decided_j = v))`.
+    pub fn no_nonfaulty_decided(n: usize, v: Value) -> Formula {
+        Formula::And(
+            AgentId::all(n)
+                .map(|j| {
+                    Formula::implies(
+                        Formula::Nonfaulty(j),
+                        Formula::not(Formula::DecidedIs(j, Some(v))),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<E: InformationExchange> InterpretedSystem<E> {
+    /// Evaluates a formula over all points of the system.
+    pub fn eval(&self, f: &Formula) -> BitSet {
+        let count = self.point_count();
+        match f {
+            Formula::True => {
+                let mut s = BitSet::new(count);
+                s.fill();
+                s
+            }
+            Formula::InitIs(i, v) => self.points_where(|run, _| run.inits[i.index()] == *v),
+            Formula::DecidedIs(i, v) => {
+                self.points_by(|pid| self.decided_at(pid, *i) == *v)
+            }
+            Formula::TimeIs(k) => self.points_by(|pid| self.time_of(pid) == *k),
+            Formula::Nonfaulty(i) => self.points_where(|run, _| run.nonfaulty.contains(*i)),
+            Formula::ExistsInit(v) => self.points_where(|run, _| run.inits.contains(v)),
+            Formula::JustDecided(i, v) => self.points_by(|pid| {
+                let m = self.time_of(pid);
+                m > 0
+                    && self.decided_at(pid, *i) == Some(*v)
+                    && self.decided_at(pid - 1, *i).is_none()
+            }),
+            Formula::Deciding(i, v) => self.points_by(|pid| {
+                let m = self.time_of(pid);
+                m < self.horizon()
+                    && self.decided_at(pid, *i).is_none()
+                    && self.decided_at(pid + 1, *i) == Some(*v)
+            }),
+            Formula::Not(g) => {
+                let mut s = self.eval(g);
+                s.invert();
+                s
+            }
+            Formula::And(gs) => {
+                let mut s = BitSet::new(count);
+                s.fill();
+                for g in gs {
+                    s.intersect_with(&self.eval(g));
+                }
+                s
+            }
+            Formula::Or(gs) => {
+                let mut s = BitSet::new(count);
+                for g in gs {
+                    s.union_with(&self.eval(g));
+                }
+                s
+            }
+            Formula::Knows(i, g) => self.knows_set(*i, &self.eval(g)),
+            Formula::EveryoneNonfaulty(g) => self.everyone_nonfaulty_set(&self.eval(g)),
+            Formula::CommonNonfaulty(g) => self.common_nonfaulty_set(&self.eval(g)),
+            Formula::Next(g) => {
+                let inner = self.eval(g);
+                self.points_by(|pid| {
+                    self.time_of(pid) < self.horizon() && inner.contains(pid as usize + 1)
+                })
+            }
+            Formula::Prev(g) => {
+                let inner = self.eval(g);
+                self.points_by(|pid| self.time_of(pid) > 0 && inner.contains(pid as usize - 1))
+            }
+            Formula::Henceforth(g) => {
+                let inner = self.eval(g);
+                self.points_by(|pid| {
+                    let run = self.run_of(pid);
+                    (self.time_of(pid)..=self.horizon())
+                        .all(|m| inner.contains(self.point(run, m) as usize))
+                })
+            }
+            Formula::Eventually(g) => {
+                let inner = self.eval(g);
+                self.points_by(|pid| {
+                    let run = self.run_of(pid);
+                    (self.time_of(pid)..=self.horizon())
+                        .any(|m| inner.contains(self.point(run, m) as usize))
+                })
+            }
+        }
+    }
+
+    /// Whether the formula holds at the point `(run, time)`.
+    pub fn satisfied_at(&self, f: &Formula, run: usize, time: u32) -> bool {
+        self.eval(f).contains(self.point(run, time) as usize)
+    }
+
+    /// Whether the formula is valid (holds at every point) in the system.
+    pub fn valid(&self, f: &Formula) -> bool {
+        self.eval(f).count() == self.point_count()
+    }
+
+    fn points_where(
+        &self,
+        pred: impl Fn(&eba_sim::enumerate::EnumRun<E>, u32) -> bool,
+    ) -> BitSet {
+        let mut s = BitSet::new(self.point_count());
+        for pid in 0..self.point_count() {
+            let run = &self.runs()[self.run_of(pid as PointId)];
+            if pred(run, self.time_of(pid as PointId)) {
+                s.insert(pid);
+            }
+        }
+        s
+    }
+
+    fn points_by(&self, pred: impl Fn(PointId) -> bool) -> BitSet {
+        let mut s = BitSet::new(self.point_count());
+        for pid in 0..self.point_count() {
+            if pred(pid as PointId) {
+                s.insert(pid);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    fn sys() -> InterpretedSystem<MinExchange> {
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let proto = PMin::new(params);
+        InterpretedSystem::build(ex, &proto, 4, 1_000_000).unwrap()
+    }
+
+    fn a(i: usize) -> AgentId {
+        AgentId::new(i)
+    }
+
+    #[test]
+    fn propositional_connectives() {
+        let s = sys();
+        let f = Formula::InitIs(a(0), Value::Zero);
+        let not_f = Formula::not(f.clone());
+        let mut both = s.eval(&f);
+        both.intersect_with(&s.eval(&not_f));
+        assert!(both.is_empty());
+        let mut either = s.eval(&f);
+        either.union_with(&s.eval(&not_f));
+        assert_eq!(either.count(), s.point_count());
+        assert!(s.valid(&Formula::implies(f.clone(), f)));
+    }
+
+    #[test]
+    fn exists_init_matches_disjunction() {
+        let s = sys();
+        let exists = s.eval(&Formula::ExistsInit(Value::Zero));
+        let disj = s.eval(&Formula::Or(
+            (0..3).map(|i| Formula::InitIs(a(i), Value::Zero)).collect(),
+        ));
+        assert_eq!(exists, disj);
+    }
+
+    #[test]
+    fn knowledge_axioms_hold() {
+        let s = sys();
+        let phi = Formula::ExistsInit(Value::Zero);
+        // T: K_i φ ⇒ φ.
+        assert!(s.valid(&Formula::implies(
+            Formula::knows(a(1), phi.clone()),
+            phi.clone()
+        )));
+        // 4 (positive introspection): K_i φ ⇒ K_i K_i φ.
+        assert!(s.valid(&Formula::implies(
+            Formula::knows(a(1), phi.clone()),
+            Formula::knows(a(1), Formula::knows(a(1), phi.clone()))
+        )));
+        // 5 (negative introspection): ¬K_i φ ⇒ K_i ¬K_i φ.
+        assert!(s.valid(&Formula::implies(
+            Formula::not(Formula::knows(a(1), phi.clone())),
+            Formula::knows(a(1), Formula::not(Formula::knows(a(1), phi)))
+        )));
+    }
+
+    #[test]
+    fn common_knowledge_fixpoint_property() {
+        // C_N φ ⇒ E_N(φ ∧ C_N φ).
+        let s = sys();
+        let phi = Formula::ExistsInit(Value::One);
+        let c = Formula::common_nonfaulty(phi.clone());
+        let unfold = Formula::EveryoneNonfaulty(Box::new(Formula::And(vec![
+            phi.clone(),
+            c.clone(),
+        ])));
+        assert!(s.valid(&Formula::implies(c, unfold)));
+    }
+
+    #[test]
+    fn just_decided_and_deciding_are_consistent() {
+        let s = sys();
+        // deciding_i = v at m ⟺ jdecided_i = v at m+1: check via ◯.
+        let f = Formula::implies(
+            Formula::Deciding(a(0), Value::One),
+            Formula::Next(Box::new(Formula::JustDecided(a(0), Value::One))),
+        );
+        assert!(s.valid(&f));
+        // jdecided never holds at time 0.
+        let g = Formula::implies(
+            Formula::TimeIs(0),
+            Formula::not(Formula::JustDecided(a(0), Value::One)),
+        );
+        assert!(s.valid(&g));
+    }
+
+    #[test]
+    fn temporal_duality() {
+        let s = sys();
+        let phi = Formula::DecidedIs(a(2), Some(Value::One));
+        // □φ ⟺ ¬♦¬φ.
+        let lhs = s.eval(&Formula::Henceforth(Box::new(phi.clone())));
+        let rhs = s.eval(&Formula::not(Formula::Eventually(Box::new(Formula::not(
+            phi,
+        )))));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn decisions_are_stable_once_made() {
+        // Unique decision as a temporal validity: decided_i = v ⇒ □(decided_i = v).
+        let s = sys();
+        for i in 0..3 {
+            for v in Value::ALL {
+                let f = Formula::implies(
+                    Formula::DecidedIs(a(i), Some(v)),
+                    Formula::Henceforth(Box::new(Formula::DecidedIs(a(i), Some(v)))),
+                );
+                assert!(s.valid(&f), "agent {i} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn eba_spec_as_formulas() {
+        // Agreement and Termination of Section 5 expressed in the logic and
+        // model-checked over the full P_min system.
+        let s = sys();
+        for i in 0..3 {
+            for j in 0..3 {
+                let agree = Formula::not(Formula::And(vec![
+                    Formula::Nonfaulty(a(i)),
+                    Formula::Nonfaulty(a(j)),
+                    Formula::DecidedIs(a(i), Some(Value::Zero)),
+                    Formula::DecidedIs(a(j), Some(Value::One)),
+                ]));
+                assert!(s.valid(&agree), "agreement {i},{j}");
+            }
+            let terminate = Formula::implies(
+                Formula::Nonfaulty(a(i)),
+                Formula::Eventually(Box::new(Formula::not(Formula::DecidedIs(a(i), None)))),
+            );
+            // Termination within the horizon holds at time 0 of every run.
+            let set = s.eval(&terminate);
+            for r in 0..s.runs().len() {
+                assert!(set.contains(s.point(r, 0) as usize), "termination {i}");
+            }
+            let validity = Formula::implies(
+                Formula::And(vec![
+                    Formula::Nonfaulty(a(i)),
+                    Formula::DecidedIs(a(i), Some(Value::Zero)),
+                ]),
+                Formula::ExistsInit(Value::Zero),
+            );
+            assert!(s.valid(&validity), "validity {i}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Epistemic model checking for EBA protocols: the runs-and-systems
+//! machinery of Sections 2 and 4 of the paper, realized over exhaustively
+//! enumerated systems.
+//!
+//! * [`system`] — interpreted systems `I = (R_{E,F,P}, π)`: points,
+//!   per-agent indistinguishability classes;
+//! * [`formula`] — a logic of knowledge and (bounded) time: the
+//!   propositions of EBA contexts, `K_i`, `E_N`, `C_N` over the indexical
+//!   nonfaulty set, and temporal operators;
+//! * [`kbp`] — semantics of the knowledge-based programs `P0` and `P1`:
+//!   the action each prescribes at every point of a system;
+//! * [`implements`] — the implements-check: does a concrete action
+//!   protocol agree with a knowledge-based program at every reachable
+//!   local state? This is the machine-checked form of Theorems 6.5, 6.6,
+//!   and A.21 on small instances.
+//!
+//! # Example: verify Theorem 6.5 at `n = 3, t = 1`
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_core::kbp::KnowledgeBasedProgram;
+//! use eba_epistemic::prelude::*;
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! let params = Params::new(3, 1)?;
+//! let ex = MinExchange::new(params);
+//! let proto = PMin::new(params);
+//! let system = InterpretedSystem::build(ex, &proto, 4, 1_000_000)?;
+//! let report = check_implements(&system, &proto, KnowledgeBasedProgram::P0);
+//! assert!(report.is_ok(), "P_min implements P0: {report:?}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod formula;
+pub mod implements;
+pub mod kbp;
+pub mod system;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::formula::Formula;
+    pub use crate::implements::{check_implements, ImplementsReport, Mismatch};
+    pub use crate::kbp::{ck_t_faulty_and, prescriptions};
+    pub use crate::system::{InterpretedSystem, PointId};
+}

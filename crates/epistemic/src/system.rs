@@ -1,0 +1,344 @@
+//! Interpreted systems `I = (R_{E,F,P}, π)` over exhaustively enumerated
+//! run sets.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use eba_core::exchange::InformationExchange;
+use eba_core::protocols::ActionProtocol;
+use eba_core::types::{Action, AgentId, BitSet, EbaError, Params, Value};
+use eba_sim::enumerate::{enumerate_runs, EnumRun};
+
+/// Identifier of a point `(r, m)`: `r * (horizon + 1) + m`.
+pub type PointId = u32;
+
+/// Per-agent indistinguishability classes, stored flat: `points` holds all
+/// point ids grouped by class; `starts[c]..starts[c+1]` is class `c`.
+struct AgentClasses {
+    points: Vec<PointId>,
+    starts: Vec<u32>,
+}
+
+/// An interpreted system: the complete set of runs of `(E, F, P)` up to a
+/// horizon, with per-agent indistinguishability classes for evaluating
+/// knowledge.
+///
+/// Two points are indistinguishable to agent `i` iff `i` has the same
+/// local state at both — the `K_i` accessibility relation of Section 2.
+/// Systems are synchronous (local states carry the time), so classes never
+/// mix times.
+pub struct InterpretedSystem<E: InformationExchange> {
+    ex: E,
+    runs: Vec<EnumRun<E>>,
+    horizon: u32,
+    classes: Vec<AgentClasses>,
+}
+
+impl<E: InformationExchange> InterpretedSystem<E> {
+    /// Builds the system for the context `(E, SO(t), π)` and action
+    /// protocol `proto` by exhaustive run enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures (instance too large; see
+    /// [`enumerate_runs`]).
+    pub fn build<P>(ex: E, proto: &P, horizon: u32, limit: usize) -> Result<Self, EbaError>
+    where
+        P: ActionProtocol<E>,
+    {
+        let runs = enumerate_runs(&ex, proto, horizon, limit)?;
+        Ok(Self::from_runs(ex, runs, horizon))
+    }
+
+    /// Builds a system from pre-enumerated runs (they must all have the
+    /// given horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some run's trajectory length disagrees with `horizon`.
+    pub fn from_runs(ex: E, runs: Vec<EnumRun<E>>, horizon: u32) -> Self {
+        for run in &runs {
+            assert_eq!(
+                run.states.len() as u32,
+                horizon + 1,
+                "run horizon mismatch"
+            );
+        }
+        let n = ex.params().n();
+        let point_count = runs.len() * (horizon as usize + 1);
+        let mut classes = Vec::with_capacity(n);
+        for i in 0..n {
+            // Group points by agent i's local state: sort by hash, then
+            // split hash-equal spans by exact equality.
+            let mut hashed: Vec<(u64, PointId)> = Vec::with_capacity(point_count);
+            for (r, run) in runs.iter().enumerate() {
+                for m in 0..=horizon {
+                    let mut h = DefaultHasher::new();
+                    run.states[m as usize][i].hash(&mut h);
+                    let pid = (r * (horizon as usize + 1) + m as usize) as PointId;
+                    hashed.push((h.finish(), pid));
+                }
+            }
+            hashed.sort_unstable();
+            let state_of = |pid: PointId| {
+                let r = pid as usize / (horizon as usize + 1);
+                let m = pid as usize % (horizon as usize + 1);
+                &runs[r].states[m][i]
+            };
+            let mut points = Vec::with_capacity(point_count);
+            let mut starts = vec![0u32];
+            let mut span_start = 0;
+            while span_start < hashed.len() {
+                let hash = hashed[span_start].0;
+                let mut span_end = span_start;
+                while span_end < hashed.len() && hashed[span_end].0 == hash {
+                    span_end += 1;
+                }
+                // Partition the (rarely > 1 distinct) states in this span.
+                let mut remaining: Vec<PointId> =
+                    hashed[span_start..span_end].iter().map(|(_, p)| *p).collect();
+                while !remaining.is_empty() {
+                    let repr = remaining[0];
+                    let (class, rest): (Vec<PointId>, Vec<PointId>) = remaining
+                        .into_iter()
+                        .partition(|p| state_of(*p) == state_of(repr));
+                    points.extend_from_slice(&class);
+                    starts.push(points.len() as u32);
+                    remaining = rest;
+                }
+                span_start = span_end;
+            }
+            classes.push(AgentClasses { points, starts });
+        }
+        InterpretedSystem {
+            ex,
+            runs,
+            horizon,
+            classes,
+        }
+    }
+
+    /// The exchange protocol of the context.
+    pub fn exchange(&self) -> &E {
+        &self.ex
+    }
+
+    /// The instance parameters.
+    pub fn params(&self) -> Params {
+        self.ex.params()
+    }
+
+    /// The enumerated runs.
+    pub fn runs(&self) -> &[EnumRun<E>] {
+        &self.runs
+    }
+
+    /// The horizon (number of rounds per run).
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Total number of points.
+    pub fn point_count(&self) -> usize {
+        self.runs.len() * (self.horizon as usize + 1)
+    }
+
+    /// The point id of `(run, time)`.
+    pub fn point(&self, run: usize, time: u32) -> PointId {
+        debug_assert!(run < self.runs.len() && time <= self.horizon);
+        (run * (self.horizon as usize + 1) + time as usize) as PointId
+    }
+
+    /// The run index of a point.
+    pub fn run_of(&self, point: PointId) -> usize {
+        point as usize / (self.horizon as usize + 1)
+    }
+
+    /// The time of a point.
+    pub fn time_of(&self, point: PointId) -> u32 {
+        (point as usize % (self.horizon as usize + 1)) as u32
+    }
+
+    /// Agent `i`'s local state at a point.
+    pub fn local_state(&self, point: PointId, agent: AgentId) -> &E::State {
+        &self.runs[self.run_of(point)].states[self.time_of(point) as usize][agent.index()]
+    }
+
+    /// The action agent `i` performs at a point (i.e. in round `m + 1`);
+    /// `None` at the horizon (no action recorded there).
+    pub fn action_at(&self, point: PointId, agent: AgentId) -> Option<Action> {
+        let m = self.time_of(point);
+        if m >= self.horizon {
+            return None;
+        }
+        Some(self.runs[self.run_of(point)].actions[m as usize][agent.index()])
+    }
+
+    /// The `decided_i` component at a point.
+    pub fn decided_at(&self, point: PointId, agent: AgentId) -> Option<Value> {
+        self.ex.decided(self.local_state(point, agent))
+    }
+
+    /// `K_agent`: the set of points where everything in `inner` holds at
+    /// all points the agent considers possible.
+    pub fn knows_set(&self, agent: AgentId, inner: &BitSet) -> BitSet {
+        let mut out = BitSet::new(self.point_count());
+        let cls = &self.classes[agent.index()];
+        for c in 0..cls.starts.len() - 1 {
+            let span = &cls.points[cls.starts[c] as usize..cls.starts[c + 1] as usize];
+            if span.iter().all(|p| inner.contains(*p as usize)) {
+                for p in span {
+                    out.insert(*p as usize);
+                }
+            }
+        }
+        out
+    }
+
+    /// `E_N`: everyone in the (indexical) nonfaulty set knows `inner`.
+    pub fn everyone_nonfaulty_set(&self, inner: &BitSet) -> BitSet {
+        let n = self.params().n();
+        let knows: Vec<BitSet> = (0..n)
+            .map(|i| self.knows_set(AgentId::new(i), inner))
+            .collect();
+        let mut out = BitSet::new(self.point_count());
+        for pid in 0..self.point_count() {
+            let run = &self.runs[self.run_of(pid as PointId)];
+            if run
+                .nonfaulty
+                .iter()
+                .all(|j| knows[j.index()].contains(pid))
+            {
+                out.insert(pid);
+            }
+        }
+        out
+    }
+
+    /// `C_N`: common knowledge among the nonfaulty — the greatest fixpoint
+    /// of `X = E_N(inner ∧ X)`.
+    pub fn common_nonfaulty_set(&self, inner: &BitSet) -> BitSet {
+        let mut x = BitSet::new(self.point_count());
+        x.fill();
+        loop {
+            let mut arg = inner.clone();
+            arg.intersect_with(&x);
+            let next = self.everyone_nonfaulty_set(&arg);
+            if next == x {
+                return x;
+            }
+            x = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    fn small_system() -> InterpretedSystem<MinExchange> {
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let proto = PMin::new(params);
+        InterpretedSystem::build(ex, &proto, 4, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn point_arithmetic_roundtrips() {
+        let sys = small_system();
+        for run in [0usize, 1, sys.runs().len() - 1] {
+            for time in 0..=4 {
+                let p = sys.point(run, time);
+                assert_eq!(sys.run_of(p), run);
+                assert_eq!(sys.time_of(p), time);
+            }
+        }
+        assert_eq!(sys.point_count(), sys.runs().len() * 5);
+    }
+
+    #[test]
+    fn classes_partition_points() {
+        let sys = small_system();
+        for i in 0..3 {
+            let cls = &sys.classes[i];
+            assert_eq!(cls.points.len(), sys.point_count());
+            let mut seen = vec![false; sys.point_count()];
+            for p in &cls.points {
+                assert!(!seen[*p as usize], "point in two classes");
+                seen[*p as usize] = true;
+            }
+            assert!(seen.iter().all(|b| *b));
+            // Every class is nonempty and state-homogeneous.
+            for c in 0..cls.starts.len() - 1 {
+                let span = &cls.points[cls.starts[c] as usize..cls.starts[c + 1] as usize];
+                assert!(!span.is_empty());
+                let agent = AgentId::new(i);
+                let s0 = sys.local_state(span[0], agent);
+                for p in span {
+                    assert_eq!(sys.local_state(*p, agent), s0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_never_mix_times() {
+        // Synchrony: indistinguishable points share their time.
+        let sys = small_system();
+        for i in 0..3 {
+            let cls = &sys.classes[i];
+            for c in 0..cls.starts.len() - 1 {
+                let span = &cls.points[cls.starts[c] as usize..cls.starts[c + 1] as usize];
+                let t0 = sys.time_of(span[0]);
+                assert!(span.iter().all(|p| sys.time_of(*p) == t0));
+            }
+        }
+    }
+
+    #[test]
+    fn knows_is_truthful_and_introspective() {
+        // K_i X ⊆ X for any union of classes; here: X = all points where
+        // agent 0's init is One — a local proposition, so K_0 X = X.
+        let sys = small_system();
+        let mut x = BitSet::new(sys.point_count());
+        for pid in 0..sys.point_count() {
+            let run = &sys.runs()[sys.run_of(pid as PointId)];
+            if run.inits[0] == Value::One {
+                x.insert(pid);
+            }
+        }
+        let k = sys.knows_set(AgentId::new(0), &x);
+        assert_eq!(k, x, "own init is known exactly");
+        // Agent 1 does not always know agent 0's init.
+        let k1 = sys.knows_set(AgentId::new(1), &x);
+        assert!(k1.is_subset(&x));
+        assert!(k1.count() < x.count());
+    }
+
+    #[test]
+    fn common_knowledge_is_contained_in_everyone_knowledge() {
+        let sys = small_system();
+        // X = "some agent has initial preference 1".
+        let mut x = BitSet::new(sys.point_count());
+        for pid in 0..sys.point_count() {
+            let run = &sys.runs()[sys.run_of(pid as PointId)];
+            if run.inits.contains(&Value::One) {
+                x.insert(pid);
+            }
+        }
+        let e = sys.everyone_nonfaulty_set(&x);
+        let c = sys.common_nonfaulty_set(&x);
+        assert!(c.is_subset(&e));
+        assert!(e.is_subset(&x), "E_N is truthful (N nonempty)");
+    }
+
+    #[test]
+    fn common_knowledge_of_truth_is_everything() {
+        let sys = small_system();
+        let mut top = BitSet::new(sys.point_count());
+        top.fill();
+        let c = sys.common_nonfaulty_set(&top);
+        assert_eq!(c.count(), sys.point_count());
+    }
+}

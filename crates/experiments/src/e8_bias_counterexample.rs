@@ -1,0 +1,189 @@
+//! **E8 — the introduction's impossibility argument.**
+//!
+//! No EBA protocol for omission failures can decide 0 the moment it hears
+//! that *some* agent preferred 0. The paper's runs `r`/`r'` (n = 3):
+//!
+//! * `r` — agent 0 faulty and silent, all preferences 1: the nonfaulty
+//!   agents must eventually decide 1 (round `t + 2 = 3`).
+//! * `r'` — like `r`, but agent 0's preference is 0 and it reveals the 0
+//!   to agent 2 *only*, in round 2. Agent 1 cannot distinguish `r'` from
+//!   `r`, so it still decides 1 — while agent 2, following the naive
+//!   0-biased rule, decides 0. Agreement breaks between two *nonfaulty*
+//!   agents.
+//!
+//! Under **crash** failures the same naive protocol is safe (a zero alive
+//! at time `t + 1` would need `t + 1` distinct crashed relays), which the
+//! randomized crash campaign confirms. The fix for omissions is `P0`'s
+//! 0-*chain* rule; the chain-rule protocols pass the identical adversary.
+
+use eba_core::prelude::*;
+use eba_sim::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{cell, Table};
+
+/// Outcome of one scenario row.
+#[derive(Clone, Debug)]
+pub struct E8Row {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Protocol under test.
+    pub protocol: &'static str,
+    /// Number of runs (1 for the constructed runs, more for campaigns).
+    pub trials: u32,
+    /// Agreement/EBA violations observed.
+    pub violations: u32,
+    /// What the paper predicts.
+    pub expected: &'static str,
+}
+
+/// Builds the `r'` adversary: agent 0 faulty, silent except one message
+/// to agent 2 in round 2.
+fn r_prime_pattern(params: Params) -> FailurePattern {
+    let faulty = AgentSet::singleton(AgentId::new(0));
+    let mut pat = FailurePattern::new(params, faulty.complement(3)).expect("1 ≤ t");
+    let a = AgentId::new;
+    pat.silence_agent(a(0), 0..1, true).expect("faulty");
+    // Round 2 (m = 1): deliver only to agent 2.
+    pat.drop_message(1, a(0), a(0)).expect("faulty");
+    pat.drop_message(1, a(0), a(1)).expect("faulty");
+    pat.silence_agent(a(0), 2..5, true).expect("faulty");
+    pat
+}
+
+/// Runs the counterexample and the control campaigns.
+pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
+    let params = Params::new(3, 1).expect("valid");
+    let opts = SimOptions::default();
+    let mut rows = Vec::new();
+
+    // Run r: naive protocol, all ones, silent faulty agent — correct.
+    {
+        let ex = NaiveExchange::new(params);
+        let proto = NaiveZeroBiased::new(params);
+        let pattern = silent_pattern(params, AgentSet::singleton(AgentId::new(0)), 5).unwrap();
+        let trace =
+            eba_sim::runner::run(&ex, &proto, &pattern, &[Value::One; 3], &opts).unwrap();
+        rows.push(E8Row {
+            scenario: "r (all-1, a0 silent)",
+            protocol: "P_naive",
+            trials: 1,
+            violations: check_eba(&ex, &trace).is_err() as u32,
+            expected: "no violation; nonfaulty decide 1 in round 3",
+        });
+    }
+
+    // Run r': naive protocol violates Agreement.
+    {
+        let ex = NaiveExchange::new(params);
+        let proto = NaiveZeroBiased::new(params);
+        let pattern = r_prime_pattern(params);
+        let inits = [Value::Zero, Value::One, Value::One];
+        let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &opts).unwrap();
+        let violated = matches!(
+            check_eba(&ex, &trace),
+            Err(SpecViolation::Agreement { .. })
+        );
+        rows.push(E8Row {
+            scenario: "r' (a0 reveals 0 late)",
+            protocol: "P_naive",
+            trials: 1,
+            violations: violated as u32,
+            expected: "AGREEMENT VIOLATED (the impossibility)",
+        });
+    }
+
+    // Control: the chain-rule protocols survive the identical adversary.
+    {
+        let pattern = r_prime_pattern(params);
+        let inits = [Value::Zero, Value::One, Value::One];
+        let ex = MinExchange::new(params);
+        let trace =
+            eba_sim::runner::run(&ex, &PMin::new(params), &pattern, &inits, &opts).unwrap();
+        rows.push(E8Row {
+            scenario: "r' (same adversary)",
+            protocol: "P_min",
+            trials: 1,
+            violations: check_eba(&ex, &trace).is_err() as u32,
+            expected: "no violation (0-chain rule)",
+        });
+        let exb = BasicExchange::new(params);
+        let trace =
+            eba_sim::runner::run(&exb, &PBasic::new(params), &pattern, &inits, &opts).unwrap();
+        rows.push(E8Row {
+            scenario: "r' (same adversary)",
+            protocol: "P_basic",
+            trials: 1,
+            violations: check_eba(&exb, &trace).is_err() as u32,
+            expected: "no violation (0-chain rule)",
+        });
+    }
+
+    // Crash campaign: the naive protocol is correct under crash failures.
+    {
+        let ex = NaiveExchange::new(params);
+        let proto = NaiveZeroBiased::new(params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut violations = 0;
+        for _ in 0..crash_trials {
+            let faulty = AgentSet::singleton(AgentId::new(rng.random_range(0..3)));
+            let crash_round = rng.random_range(0..4);
+            let pattern = crash_pattern(params, faulty, &[crash_round], 5, &mut rng).unwrap();
+            let bits: u32 = rng.random_range(0..8);
+            let inits: Vec<Value> = (0..3)
+                .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
+                .collect();
+            let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &opts).unwrap();
+            if check_eba(&ex, &trace).is_err() {
+                violations += 1;
+            }
+        }
+        rows.push(E8Row {
+            scenario: "random crash adversaries",
+            protocol: "P_naive",
+            trials: crash_trials,
+            violations,
+            expected: "no violation (naive 0-bias is safe under crashes)",
+        });
+    }
+
+    let mut table = Table::new(
+        "E8: the 0-biased impossibility (introduction)",
+        "The naive hear-a-0-decide-0 protocol is safe under crash failures \
+         but splits nonfaulty decisions under omissions (runs r / r'); the \
+         0-chain protocols survive the identical adversary.",
+        &["scenario", "protocol", "trials", "violations", "paper expectation"],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.scenario),
+            cell(r.protocol),
+            cell(r.trials),
+            cell(r.violations),
+            cell(r.expected),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_counterexample_behaves_as_the_paper_says() {
+        let (rows, _) = run(200, 7);
+        let by = |s: &str, p: &str| {
+            rows.iter()
+                .find(|r| r.scenario.starts_with(s) && r.protocol == p)
+                .unwrap()
+                .violations
+        };
+        assert_eq!(by("r (", "P_naive"), 0, "run r is clean");
+        assert_eq!(by("r'", "P_naive"), 1, "run r' violates Agreement");
+        assert_eq!(by("r' (same", "P_min"), 0, "P_min survives");
+        assert_eq!(by("r' (same", "P_basic"), 0, "P_basic survives");
+        assert_eq!(by("random crash", "P_naive"), 0, "crash-safe");
+    }
+}

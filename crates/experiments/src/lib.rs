@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! | Id | Paper source | Claim reproduced |
+//! |----|--------------|------------------|
+//! | E1 | Prop 8.1 | message complexity: `n²` / `O(n²t)` / `O(n⁴t²)` bits |
+//! | E2 | Prop 8.2(a) | failure-free with a 0: everyone decides by round 2 |
+//! | E3 | Prop 8.2(b) | failure-free all-ones: `t+2` vs round 2 |
+//! | E4 | Example 7.1 | silent faulty: P_opt round 3, P_min/P_basic round 12 |
+//! | E5 | Prop 6.1/7.3 | EBA + decide-by-`t+2` under random adversaries |
+//! | E6 | Section 8 | decision-latency curves vs omission rate |
+//! | E7 | Thms 6.5/6.6/A.21 | implements-checks by epistemic model checking |
+//! | E8 | Introduction | the 0-biased impossibility (runs `r`/`r'`) |
+//! | E9 | Prop 7.2/Lemma A.4 | common-knowledge onset and one-round decisions |
+//!
+//! Each module exposes a typed `run(…)` entry point returning both the raw
+//! records and a renderable [`table::Table`]; the `eba-experiments` binary
+//! prints all of them as markdown (the content of `EXPERIMENTS.md`).
+
+pub mod e1_bits;
+pub mod e2_failure_free_zero;
+pub mod e3_failure_free_ones;
+pub mod e4_silent_faulty;
+pub mod e5_termination;
+pub mod e6_latency_curves;
+pub mod e7_implements;
+pub mod e8_bias_counterexample;
+pub mod e9_ck_onset;
+pub mod table;
+
+pub use table::Table;

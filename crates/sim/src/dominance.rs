@@ -1,0 +1,224 @@
+//! The dominance order `≤_γ` on action protocols (Section 5).
+//!
+//! Runs of two action protocols *correspond* if they share the initial
+//! global state — the same initial preferences and the same failure
+//! pattern (the information-exchange protocol is fixed by the context).
+//! `P` dominates `P'` if, in every pair of corresponding runs, every agent
+//! that is nonfaulty decides at least as early under `P` as under `P'`.
+//!
+//! Dominance over *all* runs cannot be established by testing; this module
+//! provides the per-run comparison and aggregation used by the
+//! mutant-based optimality experiments (DESIGN.md §6).
+
+use eba_core::exchange::InformationExchange;
+use eba_core::types::AgentId;
+
+use crate::trace::Trace;
+
+/// The outcome of comparing one pair of corresponding runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunComparison {
+    /// Every nonfaulty agent decides in the same round under both.
+    Equal,
+    /// Left decides no later everywhere and strictly earlier somewhere.
+    LeftEarlier,
+    /// Right decides no later everywhere and strictly earlier somewhere.
+    RightEarlier,
+    /// Each side is strictly earlier for some nonfaulty agent.
+    Mixed,
+}
+
+/// Compares corresponding runs (same pattern, same initial preferences) of
+/// two action protocols over the same exchange.
+///
+/// An undecided nonfaulty agent counts as deciding at round `∞` (later
+/// than any decision).
+///
+/// # Panics
+///
+/// Panics if the traces disagree on pattern or initial preferences — they
+/// would not be corresponding runs.
+pub fn compare_corresponding<E: InformationExchange>(
+    left: &Trace<E>,
+    right: &Trace<E>,
+) -> RunComparison {
+    assert_eq!(left.inits, right.inits, "runs do not correspond (inits)");
+    assert_eq!(
+        left.pattern, right.pattern,
+        "runs do not correspond (failure pattern)"
+    );
+    let mut left_strict = false;
+    let mut right_strict = false;
+    for a in left.nonfaulty().iter() {
+        let l = left.decision_round(a).map_or(u64::MAX, u64::from);
+        let r = right.decision_round(a).map_or(u64::MAX, u64::from);
+        if l < r {
+            left_strict = true;
+        }
+        if r < l {
+            right_strict = true;
+        }
+    }
+    match (left_strict, right_strict) {
+        (false, false) => RunComparison::Equal,
+        (true, false) => RunComparison::LeftEarlier,
+        (false, true) => RunComparison::RightEarlier,
+        (true, true) => RunComparison::Mixed,
+    }
+}
+
+/// Aggregated comparisons over a family of corresponding runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DominanceSummary {
+    /// Runs decided identically.
+    pub equal: u64,
+    /// Runs where the left protocol was strictly earlier (and never later).
+    pub left_earlier: u64,
+    /// Runs where the right protocol was strictly earlier (and never later).
+    pub right_earlier: u64,
+    /// Runs where each side won somewhere.
+    pub mixed: u64,
+}
+
+impl DominanceSummary {
+    /// Folds one comparison into the summary.
+    pub fn record(&mut self, cmp: RunComparison) {
+        match cmp {
+            RunComparison::Equal => self.equal += 1,
+            RunComparison::LeftEarlier => self.left_earlier += 1,
+            RunComparison::RightEarlier => self.right_earlier += 1,
+            RunComparison::Mixed => self.mixed += 1,
+        }
+    }
+
+    /// Whether the observations are consistent with "left dominates right"
+    /// (right never strictly earlier, left strictly earlier somewhere).
+    pub fn left_dominates(&self) -> bool {
+        self.right_earlier == 0 && self.mixed == 0 && self.left_earlier > 0
+    }
+
+    /// Whether the observations are consistent with "right dominates left".
+    pub fn right_dominates(&self) -> bool {
+        self.left_earlier == 0 && self.mixed == 0 && self.right_earlier > 0
+    }
+
+    /// Whether the protocols are incomparable on the observed runs: each
+    /// is strictly earlier in some run (or within one run).
+    pub fn incomparable(&self) -> bool {
+        self.mixed > 0 || (self.left_earlier > 0 && self.right_earlier > 0)
+    }
+
+    /// Total runs compared.
+    pub fn total(&self) -> u64 {
+        self.equal + self.left_earlier + self.right_earlier + self.mixed
+    }
+}
+
+/// Per-agent decision-round difference (left minus right) over one pair of
+/// corresponding runs; `None` where either side never decided.
+pub fn decision_deltas<E: InformationExchange>(
+    left: &Trace<E>,
+    right: &Trace<E>,
+) -> Vec<Option<i64>> {
+    (0..left.params.n())
+        .map(|i| {
+            let a = AgentId::new(i);
+            match (left.decision_round(a), right.decision_round(a)) {
+                (Some(l), Some(r)) => Some(l as i64 - r as i64),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, SimOptions};
+    use eba_core::prelude::*;
+
+    fn params() -> Params {
+        Params::new(4, 2).unwrap()
+    }
+
+    /// P_basic against a deliberately slowed variant of itself: ignore the
+    /// #1 shortcut, i.e. behave like P_min inside E_basic.
+    #[derive(Clone, Copy, Debug)]
+    struct SlowBasic(Params);
+
+    impl eba_core::protocols::ActionProtocol<BasicExchange> for SlowBasic {
+        fn name(&self) -> &'static str {
+            "P_basic_slow"
+        }
+
+        fn act(&self, _agent: AgentId, state: &BasicState) -> Action {
+            if state.decided.is_some() {
+                return Action::Noop;
+            }
+            if state.init == Value::Zero || state.jd == Some(Value::Zero) {
+                return Action::Decide(Value::Zero);
+            }
+            if state.time > self.0.t() as u32 || state.jd == Some(Value::One) {
+                return Action::Decide(Value::One);
+            }
+            Action::Noop
+        }
+    }
+
+    #[test]
+    fn pbasic_dominates_its_slow_variant_on_all_ones() {
+        let ex = BasicExchange::new(params());
+        let fast = PBasic::new(params());
+        let slow = SlowBasic(params());
+        let pat = FailurePattern::failure_free(params());
+        let inits = vec![Value::One; 4];
+        let l = run(&ex, &fast, &pat, &inits, &SimOptions::default()).unwrap();
+        let r = run(&ex, &slow, &pat, &inits, &SimOptions::default()).unwrap();
+        assert_eq!(compare_corresponding(&l, &r), RunComparison::LeftEarlier);
+        let deltas = decision_deltas(&l, &r);
+        // Round 2 vs round t + 2 = 4.
+        assert!(deltas.iter().all(|d| *d == Some(-2)));
+    }
+
+    #[test]
+    fn identical_protocols_compare_equal() {
+        let ex = BasicExchange::new(params());
+        let p = PBasic::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let inits = vec![Value::Zero, Value::One, Value::One, Value::One];
+        let l = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+        let r = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+        assert_eq!(compare_corresponding(&l, &r), RunComparison::Equal);
+    }
+
+    #[test]
+    fn summary_aggregation_and_verdicts() {
+        let mut s = DominanceSummary::default();
+        s.record(RunComparison::Equal);
+        s.record(RunComparison::LeftEarlier);
+        assert!(s.left_dominates());
+        assert!(!s.right_dominates());
+        assert!(!s.incomparable());
+        s.record(RunComparison::RightEarlier);
+        assert!(s.incomparable());
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not correspond")]
+    fn mismatched_runs_panic() {
+        let ex = BasicExchange::new(params());
+        let p = PBasic::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let l = run(&ex, &p, &pat, &[Value::One; 4], &SimOptions::default()).unwrap();
+        let r = run(
+            &ex,
+            &p,
+            &pat,
+            &[Value::Zero, Value::One, Value::One, Value::One],
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let _ = compare_corresponding(&l, &r);
+    }
+}

@@ -1,0 +1,292 @@
+//! Exhaustive enumeration of `R_{E,F,P}`: **all** runs of a context, for
+//! small instances.
+//!
+//! Knowledge is quantified over every run of the system, so the epistemic
+//! model checker needs the complete set. Enumerating raw failure patterns
+//! is hopeless (`2^{t·n·horizon}` drop sets), but two observations make
+//! small instances tractable:
+//!
+//! 1. Dropping a `⊥` message changes nothing — only deliveries of *actual*
+//!    (non-`⊥`) messages from *faulty* senders are branch points. Under
+//!    `E_min`/`E_basic` agents are mostly silent, collapsing the space.
+//! 2. Runs that agree on the nonfaulty set and the entire state trajectory
+//!    are indistinguishable to every formula of the logic (the
+//!    propositions read states and `N` only), so duplicates can be merged.
+//!
+//! The faulty *set* remains a free choice even with zero drops: a faulty
+//! agent that acts nonfaulty (footnote 3 of the paper) yields a different
+//! run than the same trajectory with the agent nonfaulty.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use eba_core::exchange::InformationExchange;
+use eba_core::failures::{init_configs, nonfaulty_choices};
+use eba_core::protocols::ActionProtocol;
+use eba_core::types::{Action, AgentId, AgentSet, EbaError, Value};
+
+/// One enumerated run: the nonfaulty set plus the full trajectory.
+#[derive(Clone, Debug)]
+pub struct EnumRun<E: InformationExchange> {
+    /// The nonfaulty set `N` of the run's failure pattern.
+    pub nonfaulty: AgentSet,
+    /// The initial preferences.
+    pub inits: Vec<Value>,
+    /// `states[m][i]` for `m ∈ 0..=horizon`.
+    pub states: Vec<Vec<E::State>>,
+    /// `actions[m][i]` for `m ∈ 0..horizon`.
+    pub actions: Vec<Vec<Action>>,
+}
+
+/// Enumerates every run of `(E, P)` under `SO(t)` up to `horizon` rounds,
+/// deduplicated by `(N, trajectory)`.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] if a single round offers more than
+/// 24 independent delivery choices (the instance is too large to
+/// enumerate), or if the deduplicated run count exceeds `limit`.
+pub fn enumerate_runs<E, P>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    limit: usize,
+) -> Result<Vec<EnumRun<E>>, EbaError>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    let params = ex.params();
+    let n = params.n();
+    let mut runs: Vec<EnumRun<E>> = Vec::new();
+    // Dedup buckets: hash(N, states) → indices into `runs`.
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+
+    for nonfaulty in nonfaulty_choices(params) {
+        let faulty = nonfaulty.complement(n);
+        for inits in init_configs(n) {
+            let init_states: Vec<E::State> = (0..n)
+                .map(|i| ex.initial_state(AgentId::new(i), inits[i]))
+                .collect();
+            let mut stack = vec![Partial {
+                states: vec![init_states],
+                actions: Vec::new(),
+            }];
+            while let Some(partial) = stack.pop() {
+                let m = partial.actions.len() as u32;
+                if m == horizon {
+                    commit(
+                        &mut runs,
+                        &mut seen,
+                        nonfaulty,
+                        inits.clone(),
+                        partial,
+                        limit,
+                    )?;
+                    continue;
+                }
+                let current = partial.states.last().expect("nonempty");
+                let actions: Vec<Action> = (0..n)
+                    .map(|i| proto.act(AgentId::new(i), &current[i]))
+                    .collect();
+                let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
+                    .map(|i| ex.outgoing(AgentId::new(i), &current[i], actions[i]))
+                    .collect();
+                // Branch points: non-⊥ messages from faulty senders.
+                let mut slots: Vec<(usize, usize)> = Vec::new();
+                #[allow(clippy::needless_range_loop)] // `to` is a receiver id
+                for from in faulty.iter() {
+                    for to in 0..n {
+                        if outgoing[from.index()][to].is_some() {
+                            slots.push((from.index(), to));
+                        }
+                    }
+                }
+                if slots.len() > 24 {
+                    return Err(EbaError::InvalidInput(format!(
+                        "round {} offers {} delivery choices; instance too \
+                         large to enumerate",
+                        m + 1,
+                        slots.len()
+                    )));
+                }
+                for mask in 0u32..(1 << slots.len()) {
+                    let dropped = |from: usize, to: usize| {
+                        slots
+                            .iter()
+                            .position(|s| *s == (from, to))
+                            .is_some_and(|idx| mask & (1 << idx) != 0)
+                    };
+                    let next: Vec<E::State> = (0..n)
+                        .map(|j| {
+                            let received: Vec<Option<E::Message>> = (0..n)
+                                .map(|i| {
+                                    if dropped(i, j) {
+                                        None
+                                    } else {
+                                        outgoing[i][j].clone()
+                                    }
+                                })
+                                .collect();
+                            ex.update(AgentId::new(j), &current[j], actions[j], &received)
+                        })
+                        .collect();
+                    let mut branch = partial.clone();
+                    branch.states.push(next);
+                    branch.actions.push(actions.clone());
+                    stack.push(branch);
+                }
+            }
+        }
+    }
+    Ok(runs)
+}
+
+struct Partial<E: InformationExchange> {
+    states: Vec<Vec<E::State>>,
+    actions: Vec<Vec<Action>>,
+}
+
+// Manual impl: `derive(Clone)` would wrongly require `E: Clone`.
+impl<E: InformationExchange> Clone for Partial<E> {
+    fn clone(&self) -> Self {
+        Partial {
+            states: self.states.clone(),
+            actions: self.actions.clone(),
+        }
+    }
+}
+
+fn commit<E: InformationExchange>(
+    runs: &mut Vec<EnumRun<E>>,
+    seen: &mut HashMap<u64, Vec<usize>>,
+    nonfaulty: AgentSet,
+    inits: Vec<Value>,
+    partial: Partial<E>,
+    limit: usize,
+) -> Result<(), EbaError> {
+    let mut hasher = DefaultHasher::new();
+    nonfaulty.bits().hash(&mut hasher);
+    partial.states.hash(&mut hasher);
+    let key = hasher.finish();
+    let bucket = seen.entry(key).or_default();
+    for &idx in bucket.iter() {
+        if runs[idx].nonfaulty == nonfaulty && runs[idx].states == partial.states {
+            return Ok(()); // exact duplicate
+        }
+    }
+    if runs.len() >= limit {
+        return Err(EbaError::InvalidInput(format!(
+            "run enumeration exceeded the limit of {limit} runs"
+        )));
+    }
+    bucket.push(runs.len());
+    runs.push(EnumRun {
+        nonfaulty,
+        inits,
+        states: partial.states,
+        actions: partial.actions,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    #[test]
+    fn failure_free_only_when_t_zero() {
+        // t = 0: one nonfaulty choice, no drops: exactly 2^n runs.
+        let params = Params::new(3, 0).unwrap();
+        let ex = MinExchange::new(params);
+        let p = PMin::new(params);
+        let runs = enumerate_runs(&ex, &p, 3, 100_000).unwrap();
+        assert_eq!(runs.len(), 8);
+        for run in &runs {
+            assert_eq!(run.nonfaulty, AgentSet::full(3));
+            assert_eq!(run.states.len(), 4);
+            assert_eq!(run.actions.len(), 3);
+        }
+    }
+
+    #[test]
+    fn all_inits_appear() {
+        let params = Params::new(2, 0).unwrap();
+        let ex = MinExchange::new(params);
+        let p = PMin::new(params);
+        let runs = enumerate_runs(&ex, &p, 2, 100_000).unwrap();
+        let mut inits: Vec<Vec<Value>> = runs.iter().map(|r| r.inits.clone()).collect();
+        inits.sort();
+        inits.dedup();
+        assert_eq!(inits.len(), 4);
+    }
+
+    #[test]
+    fn min_exchange_enumeration_is_compact() {
+        // With E_min, agents send only in their deciding round, so the
+        // branch factor is tiny compared to raw pattern enumeration.
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let p = PMin::new(params);
+        let runs = enumerate_runs(&ex, &p, 4, 1_000_000).unwrap();
+        // Sanity: more runs than the failure-free 8 × 4 nonfaulty choices,
+        // far fewer than raw pattern enumeration (3 × 2^12 × 8 ≈ 98k).
+        assert!(runs.len() > 32, "got {}", runs.len());
+        assert!(runs.len() < 5_000, "got {}", runs.len());
+    }
+
+    #[test]
+    fn faulty_but_clean_runs_are_distinct_from_nonfaulty() {
+        // Footnote 3: for every trajectory with zero drops there is one run
+        // per admissible nonfaulty set.
+        let params = Params::new(2, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let p = PMin::new(params);
+        let runs = enumerate_runs(&ex, &p, 3, 100_000).unwrap();
+        let all_ones: Vec<&EnumRun<_>> = runs
+            .iter()
+            .filter(|r| r.inits == vec![Value::One, Value::One])
+            .collect();
+        let mut nf_sets: Vec<u128> = all_ones.iter().map(|r| r.nonfaulty.bits()).collect();
+        nf_sets.sort();
+        nf_sets.dedup();
+        // N = {0,1}, {0}, {1} all occur for the all-ones initial config.
+        assert_eq!(nf_sets.len(), 3);
+    }
+
+    #[test]
+    fn run_limit_is_enforced() {
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let p = PMin::new(params);
+        let err = enumerate_runs(&ex, &p, 4, 10).unwrap_err();
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn trajectories_are_deterministic_given_choices() {
+        // Every enumerated run must replay exactly under the lockstep
+        // runner with a pattern reconstructed from its drops. Spot-check
+        // the failure-free member.
+        let params = Params::new(3, 1).unwrap();
+        let ex = BasicExchange::new(params);
+        let p = PBasic::new(params);
+        let runs = enumerate_runs(&ex, &p, 4, 1_000_000).unwrap();
+        let pat = FailurePattern::failure_free(params);
+        let inits = vec![Value::One; 3];
+        let trace = crate::runner::run(
+            &ex,
+            &p,
+            &pat,
+            &inits,
+            &crate::runner::SimOptions::default().with_horizon(4),
+        )
+        .unwrap();
+        let found = runs.iter().any(|r| {
+            r.nonfaulty == AgentSet::full(3) && r.inits == inits && r.states == trace.states
+        });
+        assert!(found, "the failure-free trajectory must be enumerated");
+    }
+}

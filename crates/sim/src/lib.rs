@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Lockstep simulation of EBA protocols: the run-generation semantics of
+//! Section 3 of *Optimal Eventual Byzantine Agreement Protocols with
+//! Omission Failures* (PODC 2023), plus everything needed to evaluate runs:
+//!
+//! * [`runner`] — executes `(E, P, failure pattern, initial preferences)`
+//!   round by round, producing a [`trace::Trace`];
+//! * [`trace`] — full run records: states, actions, deliveries;
+//! * [`metrics`] — decision rounds and exact message/bit accounting
+//!   (the quantities of Prop 8.1 / 8.2);
+//! * [`spec`] — the four EBA correctness properties of Section 5;
+//! * [`dominance`] — the `≤_γ` comparison between action protocols over
+//!   corresponding runs;
+//! * [`chains`] — 0-chain reconstruction (Section 6);
+//! * [`enumerate`] — exhaustive generation of **all** runs `R_{E,F,P}` of
+//!   a context for small `(n, t)`, used by `eba-epistemic` to build
+//!   interpreted systems.
+//!
+//! # Example
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! let params = Params::new(4, 1)?;
+//! let ex = BasicExchange::new(params);
+//! let proto = PBasic::new(params);
+//! let pattern = FailurePattern::failure_free(params);
+//! let inits = vec![Value::One; 4];
+//! let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default())?;
+//! check_eba(&ex, &trace).expect("EBA holds");
+//! // Prop 8.2(b): everyone decides 1 in round 2 with P_basic.
+//! assert!(trace.metrics.decision_rounds.iter().all(|r| *r == Some(2)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chains;
+pub mod dominance;
+pub mod enumerate;
+pub mod metrics;
+pub mod render;
+pub mod runner;
+pub mod spec;
+pub mod trace;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::chains::{verify_zero_chains, zero_chain_ending_at};
+    pub use crate::dominance::{compare_corresponding, DominanceSummary, RunComparison};
+    pub use crate::enumerate::{enumerate_runs, EnumRun};
+    pub use crate::metrics::Metrics;
+    pub use crate::render::{render_round_deliveries, render_timeline};
+    pub use crate::runner::{run, SimOptions};
+    pub use crate::spec::{check_decides_by, check_eba, check_validity_all, SpecViolation};
+    pub use crate::trace::{Delivery, MsgClass, Trace};
+}

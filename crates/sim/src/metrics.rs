@@ -1,0 +1,100 @@
+//! Run measurements: decision rounds and message/bit accounting.
+
+use eba_core::types::{AgentSet, Value};
+
+/// Aggregate measurements of a run, accumulated by the runner.
+///
+/// Bit counts follow the paper's accounting for Prop 8.1: a message costs
+/// its *logical* size (`InformationExchange::message_bits`), and every
+/// non-`⊥` message chosen by `μ` counts as sent whether or not the failure
+/// pattern delivers it (an omitted message was still "sent" by the
+/// protocol; the adversary suppressed it).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Rounds simulated.
+    pub rounds: u32,
+    /// Non-`⊥` messages handed to the network (including later-dropped).
+    pub messages_sent: u64,
+    /// Messages actually delivered.
+    pub messages_delivered: u64,
+    /// Total logical bits across sent messages.
+    pub bits_sent: u64,
+    /// Total logical bits across delivered messages.
+    pub bits_delivered: u64,
+    /// Per-agent first decision round (`1`-based).
+    pub decision_rounds: Vec<Option<u32>>,
+    /// Per-agent decision value.
+    pub decision_values: Vec<Option<Value>>,
+}
+
+impl Metrics {
+    /// Creates empty metrics for `n` agents.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            rounds: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            bits_sent: 0,
+            bits_delivered: 0,
+            decision_rounds: vec![None; n],
+            decision_values: vec![None; n],
+        }
+    }
+
+    /// The latest decision round among `agents` (all of which must have
+    /// decided), or `None` if any is undecided.
+    pub fn max_decision_round(&self, agents: AgentSet) -> Option<u32> {
+        let mut max = 0;
+        for a in agents.iter() {
+            max = max.max(self.decision_rounds[a.index()]?);
+        }
+        Some(max)
+    }
+
+    /// The mean decision round among `agents` that decided.
+    pub fn mean_decision_round(&self, agents: AgentSet) -> Option<f64> {
+        let rounds: Vec<u32> = agents
+            .iter()
+            .filter_map(|a| self.decision_rounds[a.index()])
+            .collect();
+        if rounds.is_empty() {
+            None
+        } else {
+            Some(rounds.iter().map(|r| *r as f64).sum::<f64>() / rounds.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::types::AgentId;
+
+    #[test]
+    fn max_and_mean_decision_rounds() {
+        let mut m = Metrics::new(3);
+        m.decision_rounds = vec![Some(1), Some(3), Some(2)];
+        let all = AgentSet::full(3);
+        assert_eq!(m.max_decision_round(all), Some(3));
+        assert_eq!(m.mean_decision_round(all), Some(2.0));
+        let pair: AgentSet = [0, 2].into_iter().map(AgentId::new).collect();
+        assert_eq!(m.max_decision_round(pair), Some(2));
+    }
+
+    #[test]
+    fn undecided_agent_blocks_max() {
+        let mut m = Metrics::new(2);
+        m.decision_rounds = vec![Some(1), None];
+        assert_eq!(m.max_decision_round(AgentSet::full(2)), None);
+        // Mean skips undecided agents instead.
+        assert_eq!(m.mean_decision_round(AgentSet::full(2)), Some(1.0));
+    }
+
+    #[test]
+    fn empty_set_mean_is_none() {
+        let m = Metrics::new(2);
+        assert_eq!(m.mean_decision_round(AgentSet::empty()), None);
+        // max over the empty set is vacuously 0.
+        assert_eq!(m.max_decision_round(AgentSet::empty()), Some(0));
+    }
+}

@@ -1,0 +1,298 @@
+//! The lockstep runner: executes one run of `(E, P)` against a failure
+//! pattern, following the global-transition semantics of Section 3.
+
+use eba_core::exchange::InformationExchange;
+use eba_core::failures::FailurePattern;
+use eba_core::protocols::ActionProtocol;
+use eba_core::types::{Action, AgentId, EbaError, Value};
+
+use crate::metrics::Metrics;
+use crate::trace::{Delivery, MsgClass, Trace};
+
+/// Options for a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Number of rounds to simulate; `None` uses `params.default_horizon()`
+    /// (`t + 3`, enough to see every decision plus one quiescent round).
+    pub horizon: Option<u32>,
+    /// Record per-round [`Delivery`] entries (needed for 0-chain
+    /// reconstruction; cheap, on by default).
+    pub record_deliveries: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            horizon: None,
+            record_deliveries: true,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Overrides the horizon.
+    pub fn with_horizon(mut self, rounds: u32) -> Self {
+        self.horizon = Some(rounds);
+        self
+    }
+}
+
+/// Executes one run and returns its trace.
+///
+/// Each round applies, in order: the action protocol (`P_i(s_i)`), message
+/// selection (`μ_i`), the failure pattern (`F(m, i, j)`), and the state
+/// update (`δ_i`) — exactly the global transition of Section 3.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] if `inits.len() != n` or the pattern
+/// was built for different parameters.
+pub fn run<E, P>(
+    ex: &E,
+    proto: &P,
+    pattern: &FailurePattern,
+    inits: &[Value],
+    opts: &SimOptions,
+) -> Result<Trace<E>, EbaError>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    let params = ex.params();
+    let n = params.n();
+    if inits.len() != n {
+        return Err(EbaError::InvalidInput(format!(
+            "{} initial preferences for {n} agents",
+            inits.len()
+        )));
+    }
+    if pattern.params() != params {
+        return Err(EbaError::InvalidInput(format!(
+            "pattern built for {} but exchange is {}",
+            pattern.params(),
+            params
+        )));
+    }
+    let horizon = opts.horizon.unwrap_or_else(|| params.default_horizon());
+
+    let mut states: Vec<E::State> = (0..n)
+        .map(|i| ex.initial_state(AgentId::new(i), inits[i]))
+        .collect();
+    let mut trace_states = vec![states.clone()];
+    let mut trace_actions = Vec::with_capacity(horizon as usize);
+    let mut deliveries = Vec::with_capacity(horizon as usize);
+    let mut metrics = Metrics::new(n);
+
+    for m in 0..horizon {
+        // 1. Actions.
+        let actions: Vec<Action> = (0..n)
+            .map(|i| proto.act(AgentId::new(i), &states[i]))
+            .collect();
+        for (i, action) in actions.iter().enumerate() {
+            if let Action::Decide(v) = action {
+                // First decision wins; a second Decide would be a protocol
+                // bug, surfaced by the spec checker rather than here.
+                if metrics.decision_rounds[i].is_none() {
+                    metrics.decision_rounds[i] = Some(m + 1);
+                    metrics.decision_values[i] = Some(*v);
+                }
+            }
+        }
+
+        // 2. Message selection.
+        let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
+            .map(|i| {
+                let out = ex.outgoing(AgentId::new(i), &states[i], actions[i]);
+                debug_assert_eq!(out.len(), n, "μ must address every agent");
+                out
+            })
+            .collect();
+        for row in &outgoing {
+            for msg in row.iter().flatten() {
+                metrics.messages_sent += 1;
+                metrics.bits_sent += ex.message_bits(msg);
+            }
+        }
+
+        // 3. Failure pattern + 4. state update.
+        let mut round_deliveries = Vec::new();
+        let mut next_states = Vec::with_capacity(n);
+        for j in 0..n {
+            let to = AgentId::new(j);
+            let received: Vec<Option<E::Message>> = (0..n)
+                .map(|i| {
+                    let from = AgentId::new(i);
+                    match &outgoing[i][j] {
+                        Some(msg) if pattern.delivers(m, from, to) => {
+                            metrics.messages_delivered += 1;
+                            metrics.bits_delivered += ex.message_bits(msg);
+                            if opts.record_deliveries {
+                                round_deliveries.push(Delivery {
+                                    from,
+                                    to,
+                                    class: MsgClass::of_action(actions[i]),
+                                });
+                            }
+                            Some(msg.clone())
+                        }
+                        _ => None,
+                    }
+                })
+                .collect();
+            next_states.push(ex.update(to, &states[j], actions[j], &received));
+        }
+
+        states = next_states;
+        trace_states.push(states.clone());
+        trace_actions.push(actions);
+        deliveries.push(round_deliveries);
+        metrics.rounds = m + 1;
+    }
+
+    Ok(Trace {
+        params,
+        pattern: pattern.clone(),
+        inits: inits.to_vec(),
+        states: trace_states,
+        actions: trace_actions,
+        deliveries,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    fn params() -> Params {
+        Params::new(4, 1).unwrap()
+    }
+
+    #[test]
+    fn rejects_wrong_init_length() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let err = run(&ex, &p, &pat, &[Value::One; 3], &SimOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_pattern() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let other = Params::new(5, 1).unwrap();
+        let pat = FailurePattern::failure_free(other);
+        assert!(run(&ex, &p, &pat, &[Value::One; 4], &SimOptions::default()).is_err());
+    }
+
+    #[test]
+    fn pmin_failure_free_all_ones_decides_at_deadline() {
+        // Prop 8.2(b): P_min waits until round t + 2.
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let trace = run(&ex, &p, &pat, &[Value::One; 4], &SimOptions::default()).unwrap();
+        for i in 0..4 {
+            assert_eq!(trace.decision_round(AgentId::new(i)), Some(3)); // t + 2
+            assert_eq!(trace.decision_value(AgentId::new(i)), Some(Value::One));
+        }
+    }
+
+    #[test]
+    fn pmin_zero_spreads_in_two_rounds() {
+        // Prop 8.2(a).
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+        assert_eq!(trace.decision_round(AgentId::new(0)), Some(1));
+        for i in 1..4 {
+            assert_eq!(trace.decision_round(AgentId::new(i)), Some(2));
+            assert_eq!(trace.decision_value(AgentId::new(i)), Some(Value::Zero));
+        }
+    }
+
+    #[test]
+    fn pmin_bit_count_is_n_squared() {
+        // Prop 8.1: every agent broadcasts exactly one 1-bit message round.
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        for inits in [[Value::One; 4], [Value::Zero; 4]] {
+            let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+            assert_eq!(trace.metrics.bits_sent, 16, "n² bits");
+            assert_eq!(trace.metrics.messages_sent, 16);
+        }
+    }
+
+    #[test]
+    fn deliveries_respect_the_pattern() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let mut pat = FailurePattern::new(params(), faulty.complement(4)).unwrap();
+        // Agent 0 has init 0, decides round 1, but its announcement reaches
+        // only agent 1.
+        for to in 2..4 {
+            pat.drop_message(0, AgentId::new(0), AgentId::new(to)).unwrap();
+        }
+        pat.drop_message(0, AgentId::new(0), AgentId::new(0)).unwrap();
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+        // Agent 1 hears the 0 and decides in round 2; 2 and 3 only hear
+        // agent 1's announcement and decide in round 3.
+        assert_eq!(trace.decision_round(AgentId::new(1)), Some(2));
+        assert_eq!(trace.decision_round(AgentId::new(2)), Some(3));
+        assert_eq!(trace.decision_value(AgentId::new(3)), Some(Value::Zero));
+        // Round-1 deliveries: only 0 → 1 (a Decide(0)-class message).
+        let r1: Vec<_> = trace.deliveries[0].iter().collect();
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].from, AgentId::new(0));
+        assert_eq!(r1[0].to, AgentId::new(1));
+        assert_eq!(r1[0].class, MsgClass::Decide(Value::Zero));
+    }
+
+    #[test]
+    fn delivered_bits_exclude_drops() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let mut pat = FailurePattern::new(params(), faulty.complement(4)).unwrap();
+        pat.silence_agent(AgentId::new(0), 0..4, true).unwrap();
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+        // Agent 0's 4 sent bits never arrive.
+        assert_eq!(trace.metrics.bits_sent - trace.metrics.bits_delivered, 4);
+    }
+
+    #[test]
+    fn horizon_override() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let trace = run(
+            &ex,
+            &p,
+            &pat,
+            &[Value::One; 4],
+            &SimOptions::default().with_horizon(6),
+        )
+        .unwrap();
+        assert_eq!(trace.horizon(), 6);
+        assert_eq!(trace.states.len(), 7);
+    }
+
+    #[test]
+    fn fip_popt_runs_through_the_runner() {
+        let ex = FipExchange::new(params());
+        let p = POpt::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let trace = run(&ex, &p, &pat, &[Value::One; 4], &SimOptions::default()).unwrap();
+        for i in 0..4 {
+            assert_eq!(trace.decision_round(AgentId::new(i)), Some(2));
+        }
+    }
+}

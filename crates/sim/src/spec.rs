@@ -1,0 +1,284 @@
+//! The EBA specification of Section 5, checked on traces.
+
+use std::fmt;
+
+use eba_core::exchange::InformationExchange;
+use eba_core::types::{Action, AgentId, Value};
+
+use crate::trace::Trace;
+
+/// A violation of one of the EBA properties.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecViolation {
+    /// An agent decided twice (or its recorded decision changed).
+    UniqueDecision {
+        /// The offending agent.
+        agent: AgentId,
+        /// The round of the second decision.
+        round: u32,
+    },
+    /// Two nonfaulty agents decided on different values.
+    Agreement {
+        /// One nonfaulty agent and its value.
+        first: (AgentId, Value),
+        /// Another nonfaulty agent and its conflicting value.
+        second: (AgentId, Value),
+    },
+    /// An agent decided a value nobody started with.
+    Validity {
+        /// The offending agent.
+        agent: AgentId,
+        /// The decided value.
+        value: Value,
+    },
+    /// A nonfaulty agent never decided within the trace.
+    Termination {
+        /// The undecided agent.
+        agent: AgentId,
+    },
+    /// An agent decided later than a required bound.
+    DecisionBound {
+        /// The offending agent.
+        agent: AgentId,
+        /// The round it decided in.
+        round: u32,
+        /// The required bound.
+        bound: u32,
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::UniqueDecision { agent, round } => {
+                write!(f, "unique decision violated: {agent} re-decided in round {round}")
+            }
+            SpecViolation::Agreement { first, second } => write!(
+                f,
+                "agreement violated: nonfaulty {} decided {} but nonfaulty {} decided {}",
+                first.0, first.1, second.0, second.1
+            ),
+            SpecViolation::Validity { agent, value } => write!(
+                f,
+                "validity violated: {agent} decided {value} but no agent started with it"
+            ),
+            SpecViolation::Termination { agent } => {
+                write!(f, "termination violated: nonfaulty {agent} never decided")
+            }
+            SpecViolation::DecisionBound { agent, round, bound } => write!(
+                f,
+                "decision bound violated: {agent} decided in round {round} > {bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+/// Checks the four EBA properties on a trace:
+///
+/// * **Unique Decision** — no agent performs a second `decide`;
+/// * **Agreement** — all nonfaulty decisions agree;
+/// * **Validity** — a nonfaulty agent's decision matches some initial
+///   preference;
+/// * **Termination** — every nonfaulty agent decides within the trace.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_eba<E: InformationExchange>(
+    ex: &E,
+    trace: &Trace<E>,
+) -> Result<(), SpecViolation> {
+    let n = trace.params.n();
+    // Unique decision: at most one Decide action per agent, and the state's
+    // decided component must never change once set.
+    for i in 0..n {
+        let agent = AgentId::new(i);
+        let mut decided_at: Option<u32> = None;
+        for (m, acts) in trace.actions.iter().enumerate() {
+            if let Action::Decide(_) = acts[i] {
+                if decided_at.is_some() {
+                    return Err(SpecViolation::UniqueDecision {
+                        agent,
+                        round: m as u32 + 1,
+                    });
+                }
+                decided_at = Some(m as u32 + 1);
+            }
+        }
+        let mut prev: Option<Value> = None;
+        for (m, states) in trace.states.iter().enumerate() {
+            let now = ex.decided(&states[i]);
+            if let (Some(p), now_val) = (prev, now) {
+                if now_val != Some(p) {
+                    return Err(SpecViolation::UniqueDecision {
+                        agent,
+                        round: m as u32,
+                    });
+                }
+            }
+            prev = now.or(prev);
+        }
+    }
+    // Agreement among nonfaulty agents.
+    let nonfaulty = trace.nonfaulty();
+    let mut first: Option<(AgentId, Value)> = None;
+    for a in nonfaulty.iter() {
+        if let Some(v) = trace.decision_value(a) {
+            match first {
+                None => first = Some((a, v)),
+                Some((fa, fv)) if fv != v => {
+                    return Err(SpecViolation::Agreement {
+                        first: (fa, fv),
+                        second: (a, v),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    // Validity for nonfaulty agents.
+    for a in nonfaulty.iter() {
+        if let Some(v) = trace.decision_value(a) {
+            if !trace.inits.contains(&v) {
+                return Err(SpecViolation::Validity { agent: a, value: v });
+            }
+        }
+    }
+    // Termination for nonfaulty agents.
+    for a in nonfaulty.iter() {
+        if trace.decision_round(a).is_none() {
+            return Err(SpecViolation::Termination { agent: a });
+        }
+    }
+    Ok(())
+}
+
+/// Checks Validity for *all* agents, including faulty ones. Prop 6.1 shows
+/// the paper's protocols satisfy this stronger form.
+///
+/// # Errors
+///
+/// Returns [`SpecViolation::Validity`] for the first offending agent.
+pub fn check_validity_all<E: InformationExchange>(trace: &Trace<E>) -> Result<(), SpecViolation> {
+    for i in 0..trace.params.n() {
+        let agent = AgentId::new(i);
+        if let Some(v) = trace.decision_value(agent) {
+            if !trace.inits.contains(&v) {
+                return Err(SpecViolation::Validity { agent, value: v });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every agent (faulty included — Prop 6.1 covers them)
+/// decides by round `bound`, typically `t + 2`.
+///
+/// # Errors
+///
+/// Returns [`SpecViolation::DecisionBound`] or
+/// [`SpecViolation::Termination`] on failure.
+pub fn check_decides_by<E: InformationExchange>(
+    trace: &Trace<E>,
+    bound: u32,
+) -> Result<(), SpecViolation> {
+    for i in 0..trace.params.n() {
+        let agent = AgentId::new(i);
+        match trace.decision_round(agent) {
+            None => return Err(SpecViolation::Termination { agent }),
+            Some(round) if round > bound => {
+                return Err(SpecViolation::DecisionBound { agent, round, bound });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, SimOptions};
+    use eba_core::prelude::*;
+
+    fn params() -> Params {
+        Params::new(4, 1).unwrap()
+    }
+
+    #[test]
+    fn failure_free_runs_satisfy_eba() {
+        let ex = BasicExchange::new(params());
+        let p = PBasic::new(params());
+        let pat = FailurePattern::failure_free(params());
+        for bits in 0..16u32 {
+            let inits: Vec<Value> =
+                (0..4).map(|i| Value::from_bit(((bits >> i) & 1) as u8)).collect();
+            let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+            check_eba(&ex, &trace).unwrap();
+            check_validity_all(&trace).unwrap();
+            check_decides_by(&trace, 3).unwrap();
+        }
+    }
+
+    #[test]
+    fn naive_protocol_violates_agreement_under_omissions() {
+        // The introduction's r' run, at n = 3, t = 1: agent 0 is faulty
+        // with init 0, silent except for one message to agent 2 in round 2.
+        let p3 = Params::new(3, 1).unwrap();
+        let ex = NaiveExchange::new(p3);
+        let p = NaiveZeroBiased::new(p3);
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let mut pat = FailurePattern::new(p3, faulty.complement(3)).unwrap();
+        pat.silence_agent(AgentId::new(0), 0..1, true).unwrap();
+        // Round 2 (m = 1): deliver only to agent 2.
+        pat.drop_message(1, AgentId::new(0), AgentId::new(0)).unwrap();
+        pat.drop_message(1, AgentId::new(0), AgentId::new(1)).unwrap();
+        pat.silence_agent(AgentId::new(0), 2..4, true).unwrap();
+        let inits = [Value::Zero, Value::One, Value::One];
+        let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
+        let err = check_eba(&ex, &trace).unwrap_err();
+        assert!(matches!(err, SpecViolation::Agreement { .. }), "got {err}");
+    }
+
+    #[test]
+    fn termination_violation_detected() {
+        // P_min with a horizon too short to reach the deadline round.
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let trace = run(
+            &ex,
+            &p,
+            &pat,
+            &[Value::One; 4],
+            &SimOptions::default().with_horizon(1),
+        )
+        .unwrap();
+        let err = check_eba(&ex, &trace).unwrap_err();
+        assert!(matches!(err, SpecViolation::Termination { .. }));
+    }
+
+    #[test]
+    fn decision_bound_violation_detected() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let pat = FailurePattern::failure_free(params());
+        let trace = run(&ex, &p, &pat, &[Value::One; 4], &SimOptions::default()).unwrap();
+        // Everyone decides in round t + 2 = 3; a bound of 2 must fail.
+        let err = check_decides_by(&trace, 2).unwrap_err();
+        assert!(matches!(err, SpecViolation::DecisionBound { .. }));
+    }
+
+    #[test]
+    fn violations_display_readably() {
+        let v = SpecViolation::Agreement {
+            first: (AgentId::new(0), Value::Zero),
+            second: (AgentId::new(1), Value::One),
+        };
+        let s = v.to_string();
+        assert!(s.contains("agreement"));
+        assert!(s.contains("a0") && s.contains("a1"));
+    }
+}

@@ -1,0 +1,339 @@
+//! The threaded cluster: one OS thread per agent, a router enforcing
+//! synchronous rounds and injecting omission faults.
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+
+use eba_core::exchange::InformationExchange;
+use eba_core::failures::FailurePattern;
+use eba_core::protocols::ActionProtocol;
+use eba_core::types::{Action, AgentId, EbaError, Value};
+
+use crate::codec::WireCodec;
+
+/// What one agent sends to the router in a round: one optional frame per
+/// recipient.
+struct Batch {
+    from: usize,
+    round: u32,
+    frames: Vec<Option<Vec<u8>>>,
+}
+
+/// What the router delivers to one agent: one optional frame per sender.
+struct Inbox {
+    frames: Vec<Option<Vec<u8>>>,
+}
+
+/// Per-agent final report.
+struct AgentReport<S> {
+    agent: usize,
+    decision_round: Option<u32>,
+    decision_value: Option<Value>,
+    final_state: S,
+}
+
+/// The outcome of a cluster execution.
+#[derive(Clone, Debug)]
+pub struct TransportReport<E: InformationExchange> {
+    /// Per-agent first decision round.
+    pub decision_rounds: Vec<Option<u32>>,
+    /// Per-agent decision value.
+    pub decision_values: Vec<Option<Value>>,
+    /// Per-agent final state after the last round.
+    pub final_states: Vec<E::State>,
+    /// Total bytes of encoded frames handed to the router (dropped frames
+    /// included — the sender did the work).
+    pub wire_bytes_sent: u64,
+    /// Total bytes actually delivered.
+    pub wire_bytes_delivered: u64,
+    /// Frames handed to the router.
+    pub frames_sent: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+/// Runs `(E, P)` on one thread per agent for `horizon` rounds.
+///
+/// The router collects every agent's outgoing frames before delivering
+/// any — rounds are strictly synchronous, matching the model of Section 3.
+/// Omissions are injected at the router according to `pattern`, exactly
+/// where a real lossy network would lose them.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] on shape mismatches (wrong number of
+/// initial preferences, pattern built for other parameters).
+///
+/// # Panics
+///
+/// Panics if an agent thread panics (e.g. a protocol bug).
+pub fn run_cluster<E, P, C>(
+    ex: &E,
+    proto: &P,
+    codec: &C,
+    pattern: &FailurePattern,
+    inits: &[Value],
+    horizon: u32,
+) -> Result<TransportReport<E>, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+    C: WireCodec<E::Message>,
+{
+    let params = ex.params();
+    let n = params.n();
+    if inits.len() != n {
+        return Err(EbaError::InvalidInput(format!(
+            "{} initial preferences for {n} agents",
+            inits.len()
+        )));
+    }
+    if pattern.params() != params {
+        return Err(EbaError::InvalidInput(format!(
+            "pattern built for {} but exchange is {}",
+            pattern.params(),
+            params
+        )));
+    }
+
+    // Agents → router (shared), router → each agent (private), agents →
+    // collector for final reports.
+    let (batch_tx, batch_rx): (Sender<Batch>, Receiver<Batch>) = unbounded();
+    let mut inbox_txs: Vec<Sender<Inbox>> = Vec::with_capacity(n);
+    let mut inbox_rxs: Vec<Option<Receiver<Inbox>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded(1);
+        inbox_txs.push(tx);
+        inbox_rxs.push(Some(rx));
+    }
+    let (report_tx, report_rx) = unbounded::<AgentReport<E::State>>();
+
+    let mut wire_bytes_sent = 0u64;
+    let mut wire_bytes_delivered = 0u64;
+    let mut frames_sent = 0u64;
+
+    std::thread::scope(|scope| {
+        // Agent threads.
+        for i in 0..n {
+            let inbox_rx = inbox_rxs[i].take().expect("one receiver per agent");
+            let batch_tx = batch_tx.clone();
+            let report_tx = report_tx.clone();
+            let init = inits[i];
+            scope.spawn(move || {
+                let me = AgentId::new(i);
+                let mut state = ex.initial_state(me, init);
+                let mut decision_round = None;
+                let mut decision_value = None;
+                for m in 0..horizon {
+                    let action = proto.act(me, &state);
+                    if let Action::Decide(v) = action {
+                        if decision_round.is_none() {
+                            decision_round = Some(m + 1);
+                            decision_value = Some(v);
+                        }
+                    }
+                    let outgoing = ex.outgoing(me, &state, action);
+                    let frames: Vec<Option<Vec<u8>>> = outgoing
+                        .iter()
+                        .map(|msg| msg.as_ref().map(|msg| codec.encode(msg)))
+                        .collect();
+                    batch_tx
+                        .send(Batch {
+                            from: i,
+                            round: m,
+                            frames,
+                        })
+                        .expect("router alive");
+                    let inbox = inbox_rx.recv().expect("router delivers every round");
+                    let received: Vec<Option<E::Message>> = inbox
+                        .frames
+                        .iter()
+                        .map(|f| f.as_deref().map(|bytes| codec.decode(bytes)))
+                        .collect();
+                    state = ex.update(me, &state, action, &received);
+                }
+                report_tx
+                    .send(AgentReport {
+                        agent: i,
+                        decision_round,
+                        decision_value,
+                        final_state: state,
+                    })
+                    .expect("collector alive");
+            });
+        }
+        drop(batch_tx);
+        drop(report_tx);
+
+        // Router: collect all n batches, apply the failure pattern,
+        // deliver.
+        for m in 0..horizon {
+            let mut frames: Vec<Option<Vec<Option<Vec<u8>>>>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let batch = batch_rx.recv().expect("agents alive");
+                assert_eq!(batch.round, m, "agent raced ahead of the round barrier");
+                assert!(frames[batch.from].is_none(), "duplicate batch");
+                frames[batch.from] = Some(batch.frames);
+            }
+            let frames: Vec<Vec<Option<Vec<u8>>>> =
+                frames.into_iter().map(|f| f.expect("all agents sent")).collect();
+            for row in frames.iter() {
+                for frame in row.iter().flatten() {
+                    frames_sent += 1;
+                    wire_bytes_sent += frame.len() as u64;
+                }
+            }
+            for to in 0..n {
+                let inbox_frames: Vec<Option<Vec<u8>>> = (0..n)
+                    .map(|from| {
+                        let frame = frames[from][to].clone();
+                        match frame {
+                            Some(f)
+                                if pattern.delivers(
+                                    m,
+                                    AgentId::new(from),
+                                    AgentId::new(to),
+                                ) =>
+                            {
+                                wire_bytes_delivered += f.len() as u64;
+                                Some(f)
+                            }
+                            _ => None,
+                        }
+                    })
+                    .collect();
+                inbox_txs[to]
+                    .send(Inbox {
+                        frames: inbox_frames,
+                    })
+                    .expect("agent alive");
+            }
+        }
+
+        // Collect reports.
+        let mut decision_rounds = vec![None; n];
+        let mut decision_values = vec![None; n];
+        let mut final_states: Vec<Option<E::State>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let r = report_rx.recv().expect("every agent reports");
+            decision_rounds[r.agent] = r.decision_round;
+            decision_values[r.agent] = r.decision_value;
+            final_states[r.agent] = Some(r.final_state);
+        }
+        Ok(TransportReport {
+            decision_rounds,
+            decision_values,
+            final_states: final_states
+                .into_iter()
+                .map(|s| s.expect("every agent reported"))
+                .collect(),
+            wire_bytes_sent,
+            wire_bytes_delivered,
+            frames_sent,
+            rounds: horizon,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{BasicCodec, FipCodec, MinCodec};
+    use eba_core::prelude::*;
+    use eba_sim::prelude::*;
+
+    fn params() -> Params {
+        Params::new(4, 1).unwrap()
+    }
+
+    #[test]
+    fn failure_free_pbasic_matches_prop82() {
+        let ex = BasicExchange::new(params());
+        let proto = PBasic::new(params());
+        let pattern = FailurePattern::failure_free(params());
+        let report =
+            run_cluster(&ex, &proto, &BasicCodec, &pattern, &[Value::One; 4], 4).unwrap();
+        assert!(report.decision_rounds.iter().all(|r| *r == Some(2)));
+        assert!(report.decision_values.iter().all(|v| *v == Some(Value::One)));
+    }
+
+    #[test]
+    fn cluster_matches_lockstep_simulator_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ex = BasicExchange::new(params());
+        let proto = PBasic::new(params());
+        let sampler = OmissionSampler::new(params(), 4, 0.35);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let pattern = sampler.sample(&mut rng);
+            let bits: u32 = rng.random_range(0..16);
+            let inits: Vec<Value> =
+                (0..4).map(|i| Value::from_bit(((bits >> i) & 1) as u8)).collect();
+            let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+            let report = run_cluster(
+                &ex,
+                &proto,
+                &BasicCodec,
+                &pattern,
+                &inits,
+                trace.horizon(),
+            )
+            .unwrap();
+            assert_eq!(report.decision_rounds, trace.metrics.decision_rounds);
+            assert_eq!(report.decision_values, trace.metrics.decision_values);
+            // Final states agree bit for bit (codecs are loss-free).
+            let last = trace.states.last().unwrap();
+            assert_eq!(&report.final_states, last);
+        }
+    }
+
+    #[test]
+    fn fip_over_the_wire_matches_simulator() {
+        let ex = FipExchange::new(params());
+        let proto = POpt::new(params());
+        let faulty = AgentSet::singleton(AgentId::new(3));
+        let pattern = silent_pattern(params(), faulty, 4).unwrap();
+        let inits = [Value::One, Value::One, Value::Zero, Value::One];
+        let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+        let report =
+            run_cluster(&ex, &proto, &FipCodec, &pattern, &inits, trace.horizon()).unwrap();
+        assert_eq!(report.decision_rounds, trace.metrics.decision_rounds);
+        assert_eq!(&report.final_states, trace.states.last().unwrap());
+    }
+
+    #[test]
+    fn min_wire_bytes_equal_message_count() {
+        // E_min frames are exactly one byte, so wire bytes = messages = n².
+        let ex = MinExchange::new(params());
+        let proto = PMin::new(params());
+        let pattern = FailurePattern::failure_free(params());
+        let report =
+            run_cluster(&ex, &proto, &MinCodec, &pattern, &[Value::One; 4], 4).unwrap();
+        assert_eq!(report.wire_bytes_sent, 16);
+        assert_eq!(report.frames_sent, 16);
+        assert_eq!(report.wire_bytes_delivered, 16);
+    }
+
+    #[test]
+    fn dropped_frames_are_not_delivered() {
+        let ex = MinExchange::new(params());
+        let proto = PMin::new(params());
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let pattern = silent_pattern(params(), faulty, 4).unwrap();
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        let report = run_cluster(&ex, &proto, &MinCodec, &pattern, &inits, 4).unwrap();
+        // a0's 3 frames to others are dropped (self-delivery kept).
+        assert_eq!(report.wire_bytes_sent - report.wire_bytes_delivered, 3);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let ex = MinExchange::new(params());
+        let proto = PMin::new(params());
+        let pattern = FailurePattern::failure_free(params());
+        assert!(run_cluster(&ex, &proto, &MinCodec, &pattern, &[Value::One; 3], 4).is_err());
+        let other = FailurePattern::failure_free(Params::new(5, 1).unwrap());
+        assert!(run_cluster(&ex, &proto, &MinCodec, &other, &[Value::One; 4], 4).is_err());
+    }
+}

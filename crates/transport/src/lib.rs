@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! A threaded message-passing runtime for the EBA protocols.
+//!
+//! The paper's protocols are round-synchronous; this crate realizes them
+//! over real OS threads and channels: one thread per agent, a router
+//! enforcing round boundaries, omission-fault injection at the router, and
+//! hand-rolled wire codecs so the byte counts of Prop 8.1 are measured on
+//! actual encoded frames rather than estimated.
+//!
+//! The runtime must agree exactly with the lockstep simulator (`eba-sim`)
+//! on every run — decision rounds, decision values, final states — which
+//! the cross-check tests enforce.
+//!
+//! # Example
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_transport::{run_cluster, BasicCodec};
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! let params = Params::new(4, 1)?;
+//! let ex = BasicExchange::new(params);
+//! let proto = PBasic::new(params);
+//! let pattern = FailurePattern::failure_free(params);
+//! let report = run_cluster(
+//!     &ex, &proto, &BasicCodec, &pattern, &vec![Value::One; 4], 4,
+//! )?;
+//! assert!(report.decision_rounds.iter().all(|r| *r == Some(2)));
+//! # Ok(())
+//! # }
+//! ```
+
+mod cluster;
+mod codec;
+
+pub use cluster::{run_cluster, TransportReport};
+pub use codec::{BasicCodec, FipCodec, MinCodec, NaiveCodec, WireCodec};

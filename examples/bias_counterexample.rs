@@ -1,0 +1,32 @@
+//! The introduction's impossibility argument, executed: why no protocol
+//! can decide 0 the moment it hears about a 0 under omission failures.
+//!
+//! Runs the paper's `r` and `r'` (n = 3, t = 1) with the naive 0-biased
+//! protocol and shows the Agreement violation, then shows the 0-chain
+//! protocols surviving the identical adversary, and the naive protocol
+//! surviving under crash failures.
+//!
+//! ```text
+//! cargo run --release --example bias_counterexample
+//! ```
+
+use eba::experiments::e8_bias_counterexample;
+
+fn main() {
+    let (rows, table) = e8_bias_counterexample::run(1000, 0xEBA);
+    println!("{table}");
+
+    let violated = rows
+        .iter()
+        .find(|r| r.scenario.starts_with("r'") && r.protocol == "P_naive")
+        .map(|r| r.violations == 1)
+        .unwrap_or(false);
+    assert!(violated, "the counterexample must trigger");
+    println!(
+        "In r', nonfaulty a1 cannot distinguish the run from r (where it \
+         must decide 1), while nonfaulty a2 just heard about a 0 — the \
+         naive rule splits them. The paper's fix: only decide 0 on a \
+         0-chain of *just-decided* announcements, which omission-faulty \
+         agents cannot forge late."
+    );
+}

@@ -1,0 +1,32 @@
+//! Print the cost/benefit tables of Section 8: message complexity
+//! (Prop 8.1) and failure-free decision times (Prop 8.2).
+//!
+//! ```text
+//! cargo run --release --example complexity_report
+//! ```
+
+use eba::experiments::{e1_bits, e3_failure_free_ones};
+
+fn main() {
+    let (rows, table) = e1_bits::run(&[(4, 1), (8, 3), (12, 5), (16, 7)]);
+    println!("{table}");
+    for r in &rows {
+        assert_eq!(
+            r.min_bits,
+            (r.n * r.n) as u64,
+            "Prop 8.1: P_min sends exactly n² bits"
+        );
+    }
+    println!(
+        "P_min is exactly n² bits in every run; P_basic/n² grows with t; the \
+         FIP pays the O(n⁴t²) graph overhead.\n"
+    );
+
+    let (_, table3) = e3_failure_free_ones::run(12, &[0, 1, 2, 3, 4, 5, 7, 9]);
+    println!("{table3}");
+    println!(
+        "For failure-free runs the basic exchange already matches full \
+         information (round 2) at a tiny fraction of the bits — the paper's \
+         closing argument for limited information exchange."
+    );
+}

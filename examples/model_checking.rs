@@ -1,0 +1,88 @@
+//! Machine-check the paper's implementation theorems on small instances.
+//!
+//! Builds the complete interpreted system `I_{γ,P}` (every failure
+//! pattern, every input vector), evaluates the knowledge-based programs
+//! `P0`/`P1` — including the `C_N(t-faulty ∧ …)` common-knowledge guards —
+//! at every point, and compares with what the concrete protocols do:
+//!
+//! * Thm 6.5 — `P_min` implements `P0` in `γ_min`;
+//! * Thm 6.6 — `P_basic` implements `P0` in `γ_basic`;
+//! * Thm A.21 — `P_opt` implements `P1` in `γ_fip` (the headline result).
+//!
+//! ```text
+//! cargo run --release --example model_checking
+//! ```
+
+use eba::core::kbp::KnowledgeBasedProgram;
+use eba::epistemic::prelude::*;
+use eba::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("The knowledge-based programs under check:\n");
+    println!("{}\n", KnowledgeBasedProgram::P0);
+    println!("{}\n", KnowledgeBasedProgram::P1);
+
+    // Theorem 6.5: P_min implements P0 in γ_min(3,1).
+    let params = Params::new(3, 1)?;
+    {
+        let proto = PMin::new(params);
+        let sys = InterpretedSystem::build(MinExchange::new(params), &proto, 4, 10_000_000)?;
+        let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P0);
+        println!(
+            "Thm 6.5  γ_min(3,1):  {} runs, {} comparisons, {} mismatches — {}",
+            report.runs,
+            report.comparisons,
+            report.mismatches.len(),
+            verdict(report.is_ok()),
+        );
+    }
+
+    // Theorem 6.6: P_basic implements P0 in γ_basic(3,1).
+    {
+        let proto = PBasic::new(params);
+        let sys = InterpretedSystem::build(BasicExchange::new(params), &proto, 4, 10_000_000)?;
+        let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P0);
+        println!(
+            "Thm 6.6  γ_basic(3,1): {} runs, {} comparisons, {} mismatches — {}",
+            report.runs,
+            report.comparisons,
+            report.mismatches.len(),
+            verdict(report.is_ok()),
+        );
+    }
+
+    // Theorem A.21: P_opt implements P1 in γ_fip(3,1). This enumerates
+    // every failure pattern of the full-information exchange (~100k runs).
+    {
+        let proto = POpt::new(params);
+        println!("\nbuilding the full-information system γ_fip(3,1)…");
+        let t0 = std::time::Instant::now();
+        let sys = InterpretedSystem::build(FipExchange::new(params), &proto, 4, 10_000_000)?;
+        println!(
+            "  {} runs / {} points in {:?}",
+            sys.runs().len(),
+            sys.point_count(),
+            t0.elapsed()
+        );
+        let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P1);
+        println!(
+            "Thm A.21 γ_fip(3,1):  {} comparisons, {} mismatches — {}",
+            report.comparisons,
+            report.mismatches.len(),
+            verdict(report.is_ok()),
+        );
+        println!(
+            "\nBy Thms 6.3 and 7.6/7.7, implementing the knowledge-based program \
+             in a safe context makes these protocols optimal (Cor 6.7, Cor 7.8)."
+        );
+    }
+    Ok(())
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "VERIFIED"
+    } else {
+        "FAILED"
+    }
+}

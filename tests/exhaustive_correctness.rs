@@ -1,0 +1,121 @@
+//! Exhaustive correctness: the EBA specification checked on **every** run
+//! of small contexts — all nonfaulty-set choices, all inputs, all
+//! meaningful delivery patterns (via the delivery-choice enumeration of
+//! `eba-sim`). This is stronger than randomized testing: the properties
+//! hold with certainty on these instances.
+
+use eba::core::exchange::InformationExchange;
+use eba::core::protocols::ActionProtocol;
+use eba::prelude::*;
+use eba::sim::enumerate::EnumRun;
+
+/// Checks the four EBA properties plus strong Validity and the `t + 2`
+/// bound directly on an enumerated run.
+fn check_enum_run<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> Result<(), String> {
+    let n = ex.params().n();
+    let bound = ex.params().decide_by_round();
+    let final_states = run.states.last().unwrap();
+
+    for i in 0..n {
+        let agent = AgentId::new(i);
+        // Unique decision: at most one Decide action.
+        let decisions: Vec<(usize, Value)> = run
+            .actions
+            .iter()
+            .enumerate()
+            .filter_map(|(m, acts)| acts[i].decided_value().map(|v| (m, v)))
+            .collect();
+        if decisions.len() > 1 {
+            return Err(format!("{agent} decided twice: {decisions:?}"));
+        }
+        // Termination within t + 2 — for every agent (Prop 6.1).
+        match decisions.first() {
+            None => return Err(format!("{agent} never decided")),
+            Some((m, _)) if *m as u32 + 1 > bound => {
+                return Err(format!("{agent} decided in round {} > {bound}", m + 1));
+            }
+            _ => {}
+        }
+        // Strong validity.
+        if let Some(v) = ex.decided(&final_states[i]) {
+            if !run.inits.contains(&v) {
+                return Err(format!("{agent} decided unheld value {v}"));
+            }
+        }
+    }
+    // Agreement among nonfaulty agents.
+    let mut nonfaulty_values = run
+        .nonfaulty
+        .iter()
+        .filter_map(|a| ex.decided(&final_states[a.index()]));
+    if let Some(first) = nonfaulty_values.next() {
+        if nonfaulty_values.any(|v| v != first) {
+            return Err(format!(
+                "nonfaulty agents disagree in run with N = {}",
+                run.nonfaulty
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn exhaustive<E, P>(ex: E, proto: P, horizon: u32) -> usize
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    let runs = enumerate_runs(&ex, &proto, horizon, 10_000_000).expect("enumerable");
+    assert!(!runs.is_empty());
+    for run in &runs {
+        check_enum_run(&ex, run).unwrap_or_else(|e| panic!("{e}"));
+    }
+    runs.len()
+}
+
+#[test]
+fn pmin_is_correct_on_every_run_n3_t1() {
+    let params = Params::new(3, 1).unwrap();
+    let count = exhaustive(MinExchange::new(params), PMin::new(params), 4);
+    assert!(count >= 64, "covered {count} distinct runs");
+}
+
+#[test]
+fn pmin_is_correct_on_every_run_n4_t2() {
+    let params = Params::new(4, 2).unwrap();
+    let count = exhaustive(MinExchange::new(params), PMin::new(params), 5);
+    assert!(count >= 1000, "covered {count} distinct runs");
+}
+
+#[test]
+fn pbasic_is_correct_on_every_run_n3_t1() {
+    let params = Params::new(3, 1).unwrap();
+    let count = exhaustive(BasicExchange::new(params), PBasic::new(params), 4);
+    assert!(count >= 100, "covered {count} distinct runs");
+}
+
+#[test]
+fn popt_is_correct_on_every_run_n3_t1() {
+    let params = Params::new(3, 1).unwrap();
+    let count = exhaustive(FipExchange::new(params), POpt::new(params), 4);
+    assert!(count >= 90_000, "covered {count} distinct runs");
+}
+
+#[test]
+fn popt_ablated_is_still_correct_n3_t1() {
+    // Removing the common-knowledge rules costs speed, never correctness
+    // (it is P0, which is correct in every EBA context — Prop 6.1).
+    let params = Params::new(3, 1).unwrap();
+    let count = exhaustive(
+        FipExchange::new(params),
+        POpt::without_common_knowledge(params),
+        4,
+    );
+    assert!(count >= 90_000, "covered {count} distinct runs");
+}
+
+#[test]
+fn pmin_is_correct_on_every_run_n5_t1() {
+    let params = Params::new(5, 1).unwrap();
+    let count = exhaustive(MinExchange::new(params), PMin::new(params), 4);
+    assert!(count >= 500, "covered {count} distinct runs");
+}

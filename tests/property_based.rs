@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) across the whole stack: random
+//! adversaries, random inputs, all three protocol stacks, and the
+//! threaded transport against the lockstep simulator.
+
+use eba::prelude::*;
+use eba::transport::{run_cluster, BasicCodec, MinCodec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random instance: parameters, pattern, and inputs from a seed.
+fn instance(
+    n: usize,
+    t: usize,
+    drop_prob: f64,
+    seed: u64,
+    init_bits: u64,
+) -> (Params, FailurePattern, Vec<Value>) {
+    let params = Params::new(n, t).unwrap();
+    let sampler = OmissionSampler::new(params, params.default_horizon(), drop_prob);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pattern = sampler.sample(&mut rng);
+    let inits = (0..n)
+        .map(|i| Value::from_bit(((init_bits >> i) & 1) as u8))
+        .collect();
+    (params, pattern, inits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three protocols satisfy EBA + the t+2 bound on random runs.
+    #[test]
+    fn eba_holds_for_all_protocols(
+        n in 3usize..7,
+        seed in any::<u64>(),
+        init_bits in any::<u64>(),
+        drop_prob in 0.0f64..1.0,
+    ) {
+        let t = (n - 1) / 2;
+        let (params, pattern, inits) = instance(n, t, drop_prob, seed, init_bits);
+        let opts = SimOptions::default();
+
+        let ex = MinExchange::new(params);
+        let trace = run(&ex, &PMin::new(params), &pattern, &inits, &opts).unwrap();
+        prop_assert!(check_eba(&ex, &trace).is_ok());
+        prop_assert!(check_validity_all(&trace).is_ok());
+        prop_assert!(check_decides_by(&trace, params.decide_by_round()).is_ok());
+        prop_assert!(verify_zero_chains(&trace).is_ok());
+
+        let exb = BasicExchange::new(params);
+        let trace = run(&exb, &PBasic::new(params), &pattern, &inits, &opts).unwrap();
+        prop_assert!(check_eba(&exb, &trace).is_ok());
+        prop_assert!(check_decides_by(&trace, params.decide_by_round()).is_ok());
+        prop_assert!(verify_zero_chains(&trace).is_ok());
+
+        let exf = FipExchange::new(params);
+        let trace = run(&exf, &POpt::new(params), &pattern, &inits, &opts).unwrap();
+        prop_assert!(check_eba(&exf, &trace).is_ok());
+        prop_assert!(check_decides_by(&trace, params.decide_by_round()).is_ok());
+    }
+
+    /// Corresponding-run sanity: with more information, P_opt never
+    /// decides later than P_min for any nonfaulty agent (P_min's decisions
+    /// are 0-chains — visible to the FIP too — or the fixed deadline).
+    #[test]
+    fn popt_pointwise_no_later_than_pmin(
+        n in 3usize..6,
+        seed in any::<u64>(),
+        init_bits in any::<u64>(),
+        drop_prob in 0.0f64..0.9,
+    ) {
+        let t = (n - 1) / 2;
+        let (params, pattern, inits) = instance(n, t, drop_prob, seed, init_bits);
+        let opts = SimOptions::default();
+        let min_trace = run(
+            &MinExchange::new(params), &PMin::new(params), &pattern, &inits, &opts,
+        ).unwrap();
+        let fip_trace = run(
+            &FipExchange::new(params), &POpt::new(params), &pattern, &inits, &opts,
+        ).unwrap();
+        for a in pattern.nonfaulty().iter() {
+            let pmin = min_trace.decision_round(a).unwrap();
+            let popt = fip_trace.decision_round(a).unwrap();
+            prop_assert!(
+                popt <= pmin,
+                "{a}: P_opt decided in {popt}, P_min in {pmin}"
+            );
+        }
+    }
+
+    /// Determinism: the same instance always yields the same trace.
+    #[test]
+    fn simulation_is_deterministic(
+        seed in any::<u64>(),
+        init_bits in any::<u64>(),
+    ) {
+        let (params, pattern, inits) = instance(5, 2, 0.5, seed, init_bits);
+        let ex = BasicExchange::new(params);
+        let proto = PBasic::new(params);
+        let a = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+        let b = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+        prop_assert_eq!(a.states, b.states);
+        prop_assert_eq!(a.actions, b.actions);
+    }
+
+    /// The threaded transport agrees with the lockstep simulator exactly.
+    #[test]
+    fn transport_equals_lockstep(
+        seed in any::<u64>(),
+        init_bits in any::<u64>(),
+        drop_prob in 0.0f64..1.0,
+    ) {
+        let (params, pattern, inits) = instance(4, 1, drop_prob, seed, init_bits);
+        let ex = MinExchange::new(params);
+        let proto = PMin::new(params);
+        let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+        let report = run_cluster(
+            &ex, &proto, &MinCodec, &pattern, &inits, trace.horizon(),
+        ).unwrap();
+        prop_assert_eq!(&report.decision_rounds, &trace.metrics.decision_rounds);
+        prop_assert_eq!(&report.final_states, trace.states.last().unwrap());
+
+        let exb = BasicExchange::new(params);
+        let protob = PBasic::new(params);
+        let trace = run(&exb, &protob, &pattern, &inits, &SimOptions::default()).unwrap();
+        let report = run_cluster(
+            &exb, &protob, &BasicCodec, &pattern, &inits, trace.horizon(),
+        ).unwrap();
+        prop_assert_eq!(&report.decision_rounds, &trace.metrics.decision_rounds);
+        prop_assert_eq!(&report.final_states, trace.states.last().unwrap());
+    }
+
+    /// Crash patterns are a special case of omission patterns: the naive
+    /// 0-biased protocol stays correct there (introduction), and so do the
+    /// chain protocols.
+    #[test]
+    fn crash_runs_are_safe_for_everyone(
+        n in 3usize..6,
+        seed in any::<u64>(),
+        init_bits in any::<u64>(),
+        crash_round in 0u32..4,
+    ) {
+        let t = 1usize;
+        let params = Params::new(n, t).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faulty = AgentSet::singleton(AgentId::new((seed % n as u64) as usize));
+        let pattern = crash_pattern(params, faulty, &[crash_round], 6, &mut rng).unwrap();
+        let inits: Vec<Value> = (0..n)
+            .map(|i| Value::from_bit(((init_bits >> i) & 1) as u8))
+            .collect();
+        let opts = SimOptions::default();
+
+        let exn = NaiveExchange::new(params);
+        let trace = run(&exn, &NaiveZeroBiased::new(params), &pattern, &inits, &opts).unwrap();
+        prop_assert!(check_eba(&exn, &trace).is_ok(), "naive under crash");
+
+        let ex = MinExchange::new(params);
+        let trace = run(&ex, &PMin::new(params), &pattern, &inits, &opts).unwrap();
+        prop_assert!(check_eba(&ex, &trace).is_ok(), "P_min under crash");
+    }
+
+    /// Metrics bookkeeping: delivered ≤ sent, and they agree exactly on
+    /// failure-free runs.
+    #[test]
+    fn metrics_accounting_is_consistent(
+        init_bits in any::<u64>(),
+        n in 3usize..8,
+    ) {
+        let params = Params::new(n, 1).unwrap();
+        let ex = BasicExchange::new(params);
+        let proto = PBasic::new(params);
+        let inits: Vec<Value> = (0..n)
+            .map(|i| Value::from_bit(((init_bits >> i) & 1) as u8))
+            .collect();
+        let pattern = FailurePattern::failure_free(params);
+        let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+        prop_assert_eq!(trace.metrics.bits_sent, trace.metrics.bits_delivered);
+        prop_assert_eq!(trace.metrics.messages_sent, trace.metrics.messages_delivered);
+        let delivered: u64 = trace.deliveries.iter().map(|d| d.len() as u64).sum();
+        prop_assert_eq!(delivered, trace.metrics.messages_delivered);
+    }
+}
+
+/// Non-proptest: the FIP re-simulation (`d`) matches the actual actions on
+/// a batch of random lossy runs — the agreement between the communication
+/// graph analysis and ground truth.
+#[test]
+fn fip_decision_matrix_matches_reality_on_random_runs() {
+    use eba::core::graph::FipAnalysis;
+    use rand::Rng;
+    let params = Params::new(5, 2).unwrap();
+    let ex = FipExchange::new(params);
+    let proto = POpt::new(params);
+    let sampler = OmissionSampler::new(params, params.default_horizon(), 0.4);
+    let mut rng = StdRng::seed_from_u64(1234);
+    for _ in 0..60 {
+        let pattern = sampler.sample(&mut rng);
+        let bits: u32 = rng.random_range(0..32);
+        let inits: Vec<Value> = (0..5)
+            .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
+            .collect();
+        let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
+        // For every agent and time: every in-cone entry of the re-simulated
+        // decision matrix equals the action actually taken.
+        for observer in params.agents() {
+            let state = trace.final_state(observer);
+            let analysis = FipAnalysis::analyze(&state.graph, params, observer);
+            for m in 0..trace.horizon() - 1 {
+                for j in params.agents() {
+                    if let Some(d) = analysis.known_action(j, m) {
+                        assert_eq!(
+                            d,
+                            trace.actions[m as usize][j.index()],
+                            "observer {observer}, d({j}, {m})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -20,7 +20,9 @@ fn bench_e1(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e1_message_complexity");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (n, t) in [(8usize, 3usize), (16, 7)] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_t{t}")),

@@ -23,12 +23,22 @@ fn bench_e2_e3(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e2_e3_failure_free");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("e2_single_zero_sweep_n9", |b| {
-        b.iter(|| black_box(e2_failure_free_zero::run(black_box(&[9]))).0.len())
+        b.iter(|| {
+            black_box(e2_failure_free_zero::run(black_box(&[9])))
+                .0
+                .len()
+        })
     });
     group.bench_function("e3_all_ones_sweep_n12", |b| {
-        b.iter(|| black_box(e3_failure_free_ones::run(12, black_box(&[1, 3, 5]))).0.len())
+        b.iter(|| {
+            black_box(e3_failure_free_ones::run(12, black_box(&[1, 3, 5])))
+                .0
+                .len()
+        })
     });
     group.finish();
 }

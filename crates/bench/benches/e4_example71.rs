@@ -21,7 +21,9 @@ fn bench_e4(c: &mut Criterion) {
 
     let (params, pattern, inits) = silent_scenario(20, 10, 10);
     let mut group = c.benchmark_group("e4_example71");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("pmin_n20_t10", |b| {
         b.iter(|| black_box(run_pmin(params, &pattern, &inits)))
     });

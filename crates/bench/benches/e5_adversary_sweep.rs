@@ -18,9 +18,15 @@ fn bench_e5(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e5_adversary_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("campaign_50_trials_n5_t2", |b| {
-        b.iter(|| black_box(e5_termination::run(black_box(&[(5, 2)]), 50, 0.4, 1)).0.len())
+        b.iter(|| {
+            black_box(e5_termination::run(black_box(&[(5, 2)]), 50, 0.4, 1))
+                .0
+                .len()
+        })
     });
     group.finish();
 }

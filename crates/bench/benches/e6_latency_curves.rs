@@ -20,10 +20,14 @@ fn bench_e6(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e6_latency_curves");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("one_point_20_trials_n8_t3", |b| {
         b.iter(|| {
-            black_box(e6_latency_curves::run(8, 3, black_box(&[0.5]), 20, 7)).0.len()
+            black_box(e6_latency_curves::run(8, 3, black_box(&[0.5]), 20, 7))
+                .0
+                .len()
         })
     });
     group.finish();

@@ -24,7 +24,9 @@ fn bench_e7(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e7_model_checking");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("build_system_min_n4_t2", |b| {
         let params = Params::new(4, 2).unwrap();
         let proto = PMin::new(params);

@@ -18,7 +18,9 @@ use eba_transport::{run_cluster, BasicCodec};
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_sim_pbasic_run");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 8, 16, 32, 64] {
         let t = (n - 1) / 2;
         let params = Params::new(n, t).unwrap();
@@ -45,7 +47,9 @@ fn bench_sim_throughput(c: &mut Criterion) {
 
 fn bench_fip_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_fip_analysis");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 8, 16, 24] {
         let t = (n - 1) / 2;
         let params = Params::new(n, t).unwrap();
@@ -75,7 +79,9 @@ fn bench_fip_analysis(c: &mut Criterion) {
 
 fn bench_transport(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_transport_vs_lockstep");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 8;
     let params = Params::new(n, 3).unwrap();
     let ex = BasicExchange::new(params);
@@ -84,9 +90,8 @@ fn bench_transport(c: &mut Criterion) {
     let inits = vec![Value::One; n];
     group.bench_function("lockstep_n8", |b| {
         b.iter(|| {
-            let trace =
-                eba_sim::runner::run(&ex, &proto, &pattern, &inits, &SimOptions::default())
-                    .unwrap();
+            let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &SimOptions::default())
+                .unwrap();
             black_box(trace.metrics.messages_sent)
         })
     });

@@ -56,8 +56,12 @@ pub trait InformationExchange {
     ///
     /// The returned vector always has length `n` (agents may send to
     /// themselves; failure patterns may drop such messages).
-    fn outgoing(&self, agent: AgentId, state: &Self::State, action: Action)
-        -> Vec<Option<Self::Message>>;
+    fn outgoing(
+        &self,
+        agent: AgentId,
+        state: &Self::State,
+        action: Action,
+    ) -> Vec<Option<Self::Message>>;
 
     /// The state-update function `δ_i`: the successor state given the
     /// action performed and the tuple of received messages (entry `j` is

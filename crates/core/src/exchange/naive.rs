@@ -111,9 +111,10 @@ impl InformationExchange for NaiveExchange {
         received: &[Option<NaiveMsg>],
     ) -> NaiveState {
         debug_assert_eq!(received.len(), self.params.n());
-        let heard_zero = received.iter().flatten().any(|m| {
-            matches!(m, NaiveMsg::ZeroExists | NaiveMsg::Decide(Value::Zero))
-        });
+        let heard_zero = received
+            .iter()
+            .flatten()
+            .any(|m| matches!(m, NaiveMsg::ZeroExists | NaiveMsg::Decide(Value::Zero)));
         NaiveState {
             time: state.time + 1,
             init: state.init,

@@ -40,7 +40,10 @@ pub fn nonfaulty_choices(params: Params) -> Vec<AgentSet> {
 /// assert_eq!(configs[3], vec![Value::One, Value::One]);
 /// ```
 pub fn init_configs(n: usize) -> impl Iterator<Item = Vec<Value>> {
-    assert!(n < 32, "init_configs enumerates 2^n vectors; n = {n} is too large");
+    assert!(
+        n < 32,
+        "init_configs enumerates 2^n vectors; n = {n} is too large"
+    );
     (0u32..(1 << n)).map(move |bits| {
         (0..n)
             .map(|i| Value::from_bit(((bits >> i) & 1) as u8))

@@ -195,14 +195,8 @@ impl FailurePattern {
         for from in self.params.agents() {
             let mut crashed = false;
             for m in 0..horizon {
-                let dropped_any = self
-                    .params
-                    .agents()
-                    .any(|to| !self.delivers(m, from, to));
-                let dropped_all = self
-                    .params
-                    .agents()
-                    .all(|to| !self.delivers(m, from, to));
+                let dropped_any = self.params.agents().any(|to| !self.delivers(m, from, to));
+                let dropped_all = self.params.agents().all(|to| !self.delivers(m, from, to));
                 if crashed && !dropped_all {
                     return PatternClass::Omission;
                 }

@@ -125,7 +125,12 @@ impl OmissionSampler {
     /// `0..=t`; faulty membership is uniform among agents.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FailurePattern {
         let k = rng.random_range(0..=self.params.t());
-        let faulty: AgentSet = self.params.agents().choose_multiple(rng, k).into_iter().collect();
+        let faulty: AgentSet = self
+            .params
+            .agents()
+            .choose_multiple(rng, k)
+            .into_iter()
+            .collect();
         self.sample_with_faulty(faulty, rng)
     }
 
@@ -162,7 +167,11 @@ impl OmissionSampler {
 /// Panics if `k > n`.
 pub fn random_faulty_set<R: Rng + ?Sized>(params: Params, k: usize, rng: &mut R) -> AgentSet {
     assert!(k <= params.n());
-    params.agents().choose_multiple(rng, k).into_iter().collect()
+    params
+        .agents()
+        .choose_multiple(rng, k)
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

@@ -309,13 +309,7 @@ fn common_v(
 /// `cond_0(j, m)`: at `m = 0`, the agent's own initial preference is 0;
 /// afterwards, `j` received a round-`m` message from an agent that decided
 /// 0 in round `m` — i.e. `j` received a 0-chain.
-fn cond0(
-    g: &CommGraph,
-    decisions: &[Option<Action>],
-    params: Params,
-    j: AgentId,
-    m: u32,
-) -> bool {
+fn cond0(g: &CommGraph, decisions: &[Option<Action>], params: Params, j: AgentId, m: u32) -> bool {
     if m == 0 {
         return g.pref(j).value() == Some(Value::Zero);
     }
@@ -378,19 +372,13 @@ fn cond1(
             continue;
         }
         last[k] = cones.last_heard(j, m, ak);
-        eligible[k] = (0..=last[k]).all(|mm| {
-            !matches!(
-                decisions[mm as usize * n + k],
-                Some(Action::Decide(_))
-            )
-        });
+        eligible[k] = (0..=last[k])
+            .all(|mm| !matches!(decisions[mm as usize * n + k], Some(Action::Decide(_))));
     }
     // The counting condition of Prop A.7: a hidden chain is possible iff
     // every m″ in (len, m] has enough silent-and-undecided extenders.
     for m2 in (len + 1)..=(m as i64) {
-        let extenders = (0..n)
-            .filter(|&k| eligible[k] && last[k] < m2)
-            .count() as i64;
+        let extenders = (0..n).filter(|&k| eligible[k] && last[k] < m2).count() as i64;
         if extenders < m2 - len {
             // Too few possible extenders: no agent can be deciding 0.
             return true;

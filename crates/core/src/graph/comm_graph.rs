@@ -59,7 +59,11 @@ impl CommGraph {
     }
 
     fn edge_index(&self, round: u32, from: AgentId, to: AgentId) -> usize {
-        debug_assert!(round >= 1 && round <= self.time, "round {round} out of 1..={}", self.time);
+        debug_assert!(
+            round >= 1 && round <= self.time,
+            "round {round} out of 1..={}",
+            self.time
+        );
         let n = self.n();
         (round as usize - 1) * n * n + from.index() * n + to.index()
     }
@@ -135,10 +139,7 @@ impl CommGraph {
             let from = AgentId::new(j);
             match received[j] {
                 Some(g) => {
-                    assert_eq!(
-                        g.time, self.time,
-                        "received a graph from a different round"
-                    );
+                    assert_eq!(g.time, self.time, "received a graph from a different round");
                     next.merge_from(g);
                     next.set_edge(new_round, from, owner, EdgeLabel::Delivered);
                 }

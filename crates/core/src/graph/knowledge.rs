@@ -87,8 +87,9 @@ impl KnowledgeTables {
 
     /// `D(set, m) = ⋃_{k ∈ set} f(k, m)`.
     pub fn distributed_faulty(&self, set: AgentSet, m: u32) -> AgentSet {
-        set.iter()
-            .fold(AgentSet::empty(), |acc, k| acc.union(self.known_faulty(k, m)))
+        set.iter().fold(AgentSet::empty(), |acc, k| {
+            acc.union(self.known_faulty(k, m))
+        })
     }
 
     /// Whether `v ∈ V(agent, m)`: the vertex knows some agent started with

@@ -112,7 +112,10 @@ mod tests {
             EdgeLabel::Delivered.merge(EdgeLabel::Delivered),
             EdgeLabel::Delivered
         );
-        assert_eq!(EdgeLabel::Unknown.merge(EdgeLabel::Unknown), EdgeLabel::Unknown);
+        assert_eq!(
+            EdgeLabel::Unknown.merge(EdgeLabel::Unknown),
+            EdgeLabel::Unknown
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn decided_noops() {
         assert_eq!(
-            p().act(AgentId::new(0), &state(3, Value::One, Some(Value::One), true)),
+            p().act(
+                AgentId::new(0),
+                &state(3, Value::One, Some(Value::One), true)
+            ),
             Action::Noop
         );
     }

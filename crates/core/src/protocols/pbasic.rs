@@ -74,7 +74,13 @@ impl ActionProtocol<BasicExchange> for PBasic {
 mod tests {
     use super::*;
 
-    fn state(time: u32, init: Value, decided: Option<Value>, jd: Option<Value>, ones: u16) -> BasicState {
+    fn state(
+        time: u32,
+        init: Value,
+        decided: Option<Value>,
+        jd: Option<Value>,
+        ones: u16,
+    ) -> BasicState {
         BasicState {
             time,
             init,

@@ -79,8 +79,7 @@ impl ActionProtocol<FipExchange> for POpt {
         if state.decided.is_some() {
             return Action::Noop;
         }
-        let analysis =
-            FipAnalysis::analyze_variant(&state.graph, self.params, agent, self.use_ck);
+        let analysis = FipAnalysis::analyze_variant(&state.graph, self.params, agent, self.use_ck);
         // The cached `decided` flag must agree with the decision
         // re-simulated from the graph (the graph determines everything).
         debug_assert_eq!(
@@ -104,17 +103,11 @@ mod tests {
 
     /// Drives `(E_fip, P_opt)` for `rounds` rounds with full delivery,
     /// returning (decision value, decision round) per agent.
-    fn run_failure_free(
-        params: Params,
-        inits: &[Value],
-        rounds: u32,
-    ) -> Vec<Option<(Value, u32)>> {
+    fn run_failure_free(params: Params, inits: &[Value], rounds: u32) -> Vec<Option<(Value, u32)>> {
         let ex = FipExchange::new(params);
         let p = POpt::new(params);
         let n = params.n();
-        let mut states: Vec<FipState> = (0..n)
-            .map(|i| ex.initial_state(a(i), inits[i]))
-            .collect();
+        let mut states: Vec<FipState> = (0..n).map(|i| ex.initial_state(a(i), inits[i])).collect();
         let mut decisions = vec![None; n];
         for round in 1..=rounds {
             let actions: Vec<Action> = (0..n).map(|i| p.act(a(i), &states[i])).collect();

@@ -88,7 +88,10 @@ impl BitSet {
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(w, o)| w & !o == 0)
     }
 
     /// Sets all bits in `0..capacity`.

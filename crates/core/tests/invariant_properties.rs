@@ -27,26 +27,24 @@ impl Schedule {
 
 fn schedule_strategy(n: usize, t: usize, rounds: u32) -> impl Strategy<Value = Schedule> {
     let faulty = proptest::sample::subsequence((0..n).collect::<Vec<_>>(), 0..=t);
-    (faulty, proptest::collection::vec(0u64..u64::MAX, 0..12)).prop_map(
-        move |(faulty_v, seeds)| {
-            let faulty: AgentSet = faulty_v.iter().map(|i| AgentId::new(*i)).collect();
-            let mut drops = Vec::new();
-            for s in seeds {
-                let round = (s % rounds as u64) as u32;
-                let from = ((s >> 8) % n as u64) as usize;
-                let to = ((s >> 16) % n as u64) as usize;
-                if faulty.contains(AgentId::new(from)) {
-                    drops.push((round, from, to));
-                }
+    (faulty, proptest::collection::vec(0u64..u64::MAX, 0..12)).prop_map(move |(faulty_v, seeds)| {
+        let faulty: AgentSet = faulty_v.iter().map(|i| AgentId::new(*i)).collect();
+        let mut drops = Vec::new();
+        for s in seeds {
+            let round = (s % rounds as u64) as u32;
+            let from = ((s >> 8) % n as u64) as usize;
+            let to = ((s >> 16) % n as u64) as usize;
+            if faulty.contains(AgentId::new(from)) {
+                drops.push((round, from, to));
             }
-            Schedule {
-                n,
-                rounds,
-                faulty,
-                drops,
-            }
-        },
-    )
+        }
+        Schedule {
+            n,
+            rounds,
+            faulty,
+            drops,
+        }
+    })
 }
 
 /// Runs the full-information exchange over a schedule, returning each

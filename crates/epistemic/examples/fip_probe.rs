@@ -1,17 +1,29 @@
-use eba_core::prelude::*;
 use eba_core::kbp::KnowledgeBasedProgram;
+use eba_core::prelude::*;
 use eba_epistemic::prelude::*;
+use eba_sim::runner::Parallelism;
 
 fn main() {
     let t0 = std::time::Instant::now();
     let params = Params::new(3, 1).unwrap();
     let ex = FipExchange::new(params);
     let proto = POpt::new(params);
-    let sys = InterpretedSystem::build(ex, &proto, 4, 10_000_000).unwrap();
-    println!("built: {} runs, {} points in {:?}", sys.runs().len(), sys.point_count(), t0.elapsed());
+    let sys =
+        InterpretedSystem::build_parallel(ex, &proto, 4, 10_000_000, Parallelism::Auto).unwrap();
+    println!(
+        "built: {} runs, {} points in {:?}",
+        sys.runs().len(),
+        sys.point_count(),
+        t0.elapsed()
+    );
     let t1 = std::time::Instant::now();
     let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P1);
-    println!("checked {} comparisons in {:?}; mismatches: {}", report.comparisons, t1.elapsed(), report.mismatches.len());
+    println!(
+        "checked {} comparisons in {:?}; mismatches: {}",
+        report.comparisons,
+        t1.elapsed(),
+        report.mismatches.len()
+    );
     for m in report.mismatches.iter().take(10) {
         println!("  {m}");
     }

@@ -126,9 +126,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
                 s
             }
             Formula::InitIs(i, v) => self.points_where(|run, _| run.inits[i.index()] == *v),
-            Formula::DecidedIs(i, v) => {
-                self.points_by(|pid| self.decided_at(pid, *i) == *v)
-            }
+            Formula::DecidedIs(i, v) => self.points_by(|pid| self.decided_at(pid, *i) == *v),
             Formula::TimeIs(k) => self.points_by(|pid| self.time_of(pid) == *k),
             Formula::Nonfaulty(i) => self.points_where(|run, _| run.nonfaulty.contains(*i)),
             Formula::ExistsInit(v) => self.points_where(|run, _| run.inits.contains(v)),
@@ -206,10 +204,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         self.eval(f).count() == self.point_count()
     }
 
-    fn points_where(
-        &self,
-        pred: impl Fn(&eba_sim::enumerate::EnumRun<E>, u32) -> bool,
-    ) -> BitSet {
+    fn points_where(&self, pred: impl Fn(&eba_sim::enumerate::EnumRun<E>, u32) -> bool) -> BitSet {
         let mut s = BitSet::new(self.point_count());
         for pid in 0..self.point_count() {
             let run = &self.runs()[self.run_of(pid as PointId)];
@@ -298,10 +293,8 @@ mod tests {
         let s = sys();
         let phi = Formula::ExistsInit(Value::One);
         let c = Formula::common_nonfaulty(phi.clone());
-        let unfold = Formula::EveryoneNonfaulty(Box::new(Formula::And(vec![
-            phi.clone(),
-            c.clone(),
-        ])));
+        let unfold =
+            Formula::EveryoneNonfaulty(Box::new(Formula::And(vec![phi.clone(), c.clone()])));
         assert!(s.valid(&Formula::implies(c, unfold)));
     }
 

@@ -50,6 +50,31 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         Ok(Self::from_runs(ex, runs, horizon))
     }
 
+    /// Like [`InterpretedSystem::build`], but shards the run enumeration —
+    /// the dominant cost of building a system — across threads according
+    /// to `parallelism`. The resulting system is identical: the parallel
+    /// enumerator returns the same runs in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures (instance too large; see
+    /// [`enumerate_runs`]).
+    pub fn build_parallel<P>(
+        ex: E,
+        proto: &P,
+        horizon: u32,
+        limit: usize,
+        parallelism: eba_sim::runner::Parallelism,
+    ) -> Result<Self, EbaError>
+    where
+        E: Sync,
+        E::State: Send,
+        P: ActionProtocol<E> + Sync,
+    {
+        let runs = eba_sim::enumerate::enumerate_parallel(&ex, proto, horizon, limit, parallelism)?;
+        Ok(Self::from_runs(ex, runs, horizon))
+    }
+
     /// Builds a system from pre-enumerated runs (they must all have the
     /// given horizon).
     ///
@@ -58,11 +83,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
     /// Panics if some run's trajectory length disagrees with `horizon`.
     pub fn from_runs(ex: E, runs: Vec<EnumRun<E>>, horizon: u32) -> Self {
         for run in &runs {
-            assert_eq!(
-                run.states.len() as u32,
-                horizon + 1,
-                "run horizon mismatch"
-            );
+            assert_eq!(run.states.len() as u32, horizon + 1, "run horizon mismatch");
         }
         let n = ex.params().n();
         let point_count = runs.len() * (horizon as usize + 1);
@@ -95,8 +116,10 @@ impl<E: InformationExchange> InterpretedSystem<E> {
                     span_end += 1;
                 }
                 // Partition the (rarely > 1 distinct) states in this span.
-                let mut remaining: Vec<PointId> =
-                    hashed[span_start..span_end].iter().map(|(_, p)| *p).collect();
+                let mut remaining: Vec<PointId> = hashed[span_start..span_end]
+                    .iter()
+                    .map(|(_, p)| *p)
+                    .collect();
                 while !remaining.is_empty() {
                     let repr = remaining[0];
                     let (class, rest): (Vec<PointId>, Vec<PointId>) = remaining
@@ -204,11 +227,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         let mut out = BitSet::new(self.point_count());
         for pid in 0..self.point_count() {
             let run = &self.runs[self.run_of(pid as PointId)];
-            if run
-                .nonfaulty
-                .iter()
-                .all(|j| knows[j.index()].contains(pid))
-            {
+            if run.nonfaulty.iter().all(|j| knows[j.index()].contains(pid)) {
                 out.insert(pid);
             }
         }

@@ -42,10 +42,7 @@ fn dist_t_faulty(params: Params) -> Formula {
                                     .map(|j| {
                                         Formula::And(vec![
                                             Formula::Nonfaulty(j),
-                                            Formula::knows(
-                                                j,
-                                                Formula::not(Formula::Nonfaulty(i)),
-                                            ),
+                                            Formula::knows(j, Formula::not(Formula::Nonfaulty(i))),
                                         ])
                                     })
                                     .collect(),
@@ -119,9 +116,7 @@ fn lemma_a4_everyone_decides_within_one_round_of_ck() {
     let all_decided_next = Formula::And(
         params
             .agents()
-            .map(|i| {
-                Formula::Next(Box::new(Formula::not(Formula::DecidedIs(i, None))))
-            })
+            .map(|i| Formula::Next(Box::new(Formula::not(Formula::DecidedIs(i, None)))))
             .collect(),
     );
     let next_set = sys.eval(&all_decided_next);
@@ -154,12 +149,7 @@ fn common_v_graph_condition_matches_brute_force_knowledge() {
             ]),
         );
         let set = sys.eval(&guard);
-        truth.push(
-            params
-                .agents()
-                .map(|i| sys.knows_set(i, &set))
-                .collect(),
-        );
+        truth.push(params.agents().map(|i| sys.knows_set(i, &set)).collect());
     }
     // Compare against the polynomial-time graph condition on a systematic
     // sample of runs (every 17th), all times, all agents.
@@ -173,8 +163,7 @@ fn common_v_graph_condition_matches_brute_force_knowledge() {
                     let state = &run.states[m as usize][i.index()];
                     let analysis = FipAnalysis::analyze(&state.graph, params, i);
                     let graph_says = analysis.common_knowledge_holds(v);
-                    let logic_says =
-                        truth[iv][i.index()].contains(sys.point(r, m) as usize);
+                    let logic_says = truth[iv][i.index()].contains(sys.point(r, m) as usize);
                     assert_eq!(
                         graph_says, logic_says,
                         "common_{v} mismatch: run {r}, time {m}, agent {i}"

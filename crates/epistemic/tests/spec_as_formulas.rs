@@ -33,10 +33,7 @@ fn check_spec_validities<E: InformationExchange>(sys: &InterpretedSystem<E>) {
         // Validity: (decided_i = v ∧ i ∈ N) ⇒ ∃v. (Our protocols satisfy
         // it for faulty agents too — Prop 6.1 — so check the strong form.)
         for v in Value::ALL {
-            let validity = Formula::implies(
-                Formula::DecidedIs(i, Some(v)),
-                Formula::ExistsInit(v),
-            );
+            let validity = Formula::implies(Formula::DecidedIs(i, Some(v)), Formula::ExistsInit(v));
             assert!(sys.valid(&validity), "strong validity for {i}, {v}");
         }
         // Termination: i ∈ N ⇒ ♦(decided_i ≠ ⊥) — checked from time 0

@@ -96,8 +96,15 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E1Row>, Table) {
          P_basic = O(n²t), FIP graphs = O(n⁴t²). The normalized columns \
          should stay bounded as n and t grow.",
         &[
-            "n", "t", "scenario", "P_min bits", "P_basic bits", "FIP bits",
-            "FIP wire bytes", "basic/n²", "fip/(n⁴t²)",
+            "n",
+            "t",
+            "scenario",
+            "P_min bits",
+            "P_basic bits",
+            "FIP bits",
+            "FIP wire bytes",
+            "basic/n²",
+            "fip/(n⁴t²)",
         ],
     );
     for r in &rows {

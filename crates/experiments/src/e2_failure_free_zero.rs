@@ -43,7 +43,13 @@ pub fn run(ns: &[usize]) -> (Vec<E2Row>, Table) {
         ];
         for zero_at in 0..n {
             let inits: Vec<Value> = (0..n)
-                .map(|i| if i == zero_at { Value::Zero } else { Value::One })
+                .map(|i| {
+                    if i == zero_at {
+                        Value::Zero
+                    } else {
+                        Value::One
+                    }
+                })
                 .collect();
             let outcomes = [
                 summarize(
@@ -103,7 +109,14 @@ pub fn run(ns: &[usize]) -> (Vec<E2Row>, Table) {
         "Max decision rounds over every placement of a single 0. Paper: the \
          0-holder decides in round 1 and everyone else by round 2, for all \
          three protocols.",
-        &["n", "t", "protocol", "0-holder round", "max other round", "all decide 0"],
+        &[
+            "n",
+            "t",
+            "protocol",
+            "0-holder round",
+            "max other round",
+            "all decide 0",
+        ],
     );
     for r in &rows {
         table.push(vec![

@@ -78,7 +78,14 @@ pub fn run(n: usize, ts: &[usize]) -> (Vec<E3Row>, Table) {
         "Common decision round when every agent prefers 1 and no failure \
          occurs. Paper: P_min decides in round t + 2; P_basic and P_fip in \
          round 2 regardless of t.",
-        &["n", "t", "P_min round", "P_basic round", "P_opt round", "t+2"],
+        &[
+            "n",
+            "t",
+            "P_min round",
+            "P_basic round",
+            "P_opt round",
+            "t+2",
+        ],
     );
     for r in &rows {
         table.push(vec![

@@ -105,7 +105,13 @@ pub fn run(n: usize, t: usize, ks: &[usize]) -> (Vec<E4Row>, Table) {
          P_basic in round 12. The ablation column shows the common-knowledge \
          rules are exactly what buys the round-3 decision.",
         &[
-            "n", "t", "k silent", "P_min", "P_basic", "P_opt", "P_opt∖CK",
+            "n",
+            "t",
+            "k silent",
+            "P_min",
+            "P_basic",
+            "P_opt",
+            "P_opt∖CK",
         ],
     );
     for r in &rows {

@@ -39,7 +39,12 @@ pub struct E5Row {
 }
 
 /// Runs the campaign for all three protocols on each `(n, t)` config.
-pub fn run(configs: &[(usize, usize)], trials: u32, drop_prob: f64, seed: u64) -> (Vec<E5Row>, Table) {
+pub fn run(
+    configs: &[(usize, usize)],
+    trials: u32,
+    drop_prob: f64,
+    seed: u64,
+) -> (Vec<E5Row>, Table) {
     let mut rows = Vec::new();
     for &(n, t) in configs {
         let params = Params::new(n, t).expect("valid config");
@@ -84,8 +89,15 @@ pub fn run(configs: &[(usize, usize)], trials: u32, drop_prob: f64, seed: u64) -
          protocols; 0-decisions of the limited-information protocols are \
          0-chain-backed (Lemma A.5).",
         &[
-            "n", "t", "protocol", "trials", "EBA violations",
-            "chain violations", "max round", "t+2", "mean round",
+            "n",
+            "t",
+            "protocol",
+            "trials",
+            "EBA violations",
+            "chain violations",
+            "max round",
+            "t+2",
+            "mean round",
         ],
     );
     for r in &rows {
@@ -133,8 +145,8 @@ where
         let inits: Vec<Value> = (0..n)
             .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
             .collect();
-        let trace = eba_sim::runner::run(ex, proto, &pattern, &inits, &SimOptions::default())
-            .expect("run");
+        let trace =
+            eba_sim::runner::run(ex, proto, &pattern, &inits, &SimOptions::default()).expect("run");
         if check_eba(ex, &trace).is_err() || check_validity_all(&trace).is_err() {
             eba_violations += 1;
         }
@@ -191,7 +203,10 @@ mod tests {
     fn mean_rounds_are_sane() {
         let (rows, _) = run(&[(4, 1)], 100, 0.3, 5);
         for r in &rows {
-            assert!(r.mean_round >= 1.0 && r.mean_round <= r.bound as f64, "{r:?}");
+            assert!(
+                r.mean_round >= 1.0 && r.mean_round <= r.bound as f64,
+                "{r:?}"
+            );
         }
     }
 }

@@ -30,13 +30,7 @@ pub struct E6Row {
 /// Runs the sweep at the given `(n, t)` with `trials` random adversaries
 /// per probability; the faulty set is a fixed maximal set so the curves
 /// isolate the effect of drop intensity.
-pub fn run(
-    n: usize,
-    t: usize,
-    probs: &[f64],
-    trials: u32,
-    seed: u64,
-) -> (Vec<E6Row>, Table) {
+pub fn run(n: usize, t: usize, probs: &[f64], trials: u32, seed: u64) -> (Vec<E6Row>, Table) {
     let params = Params::new(n, t).expect("valid config");
     let inits = vec![Value::One; n];
     let faulty: AgentSet = (0..t).map(AgentId::new).collect();

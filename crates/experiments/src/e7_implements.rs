@@ -125,7 +125,14 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
          by Thms 6.3 and 7.6/7.7. Note P0 ≡ P1 throughout at t = 1 (a \
          hidden 0-chain needs more silent extenders than one faulty agent \
          provides by the time common knowledge can first arrive).",
-        &["context", "protocol", "program", "runs", "comparisons", "mismatches"],
+        &[
+            "context",
+            "protocol",
+            "program",
+            "runs",
+            "comparisons",
+            "mismatches",
+        ],
     );
     for r in &rows {
         table.push(vec![

@@ -63,8 +63,7 @@ pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
         let ex = NaiveExchange::new(params);
         let proto = NaiveZeroBiased::new(params);
         let pattern = silent_pattern(params, AgentSet::singleton(AgentId::new(0)), 5).unwrap();
-        let trace =
-            eba_sim::runner::run(&ex, &proto, &pattern, &[Value::One; 3], &opts).unwrap();
+        let trace = eba_sim::runner::run(&ex, &proto, &pattern, &[Value::One; 3], &opts).unwrap();
         rows.push(E8Row {
             scenario: "r (all-1, a0 silent)",
             protocol: "P_naive",
@@ -81,10 +80,7 @@ pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
         let pattern = r_prime_pattern(params);
         let inits = [Value::Zero, Value::One, Value::One];
         let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &opts).unwrap();
-        let violated = matches!(
-            check_eba(&ex, &trace),
-            Err(SpecViolation::Agreement { .. })
-        );
+        let violated = matches!(check_eba(&ex, &trace), Err(SpecViolation::Agreement { .. }));
         rows.push(E8Row {
             scenario: "r' (a0 reveals 0 late)",
             protocol: "P_naive",
@@ -99,8 +95,7 @@ pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
         let pattern = r_prime_pattern(params);
         let inits = [Value::Zero, Value::One, Value::One];
         let ex = MinExchange::new(params);
-        let trace =
-            eba_sim::runner::run(&ex, &PMin::new(params), &pattern, &inits, &opts).unwrap();
+        let trace = eba_sim::runner::run(&ex, &PMin::new(params), &pattern, &inits, &opts).unwrap();
         rows.push(E8Row {
             scenario: "r' (same adversary)",
             protocol: "P_min",
@@ -153,7 +148,13 @@ pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
         "The naive hear-a-0-decide-0 protocol is safe under crash failures \
          but splits nonfaulty decisions under omissions (runs r / r'); the \
          0-chain protocols survive the identical adversary.",
-        &["scenario", "protocol", "trials", "violations", "paper expectation"],
+        &[
+            "scenario",
+            "protocol",
+            "trials",
+            "violations",
+            "paper expectation",
+        ],
     );
     for r in &rows {
         table.push(vec![

@@ -43,9 +43,8 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
 
         let fip_ex = FipExchange::new(params);
         let popt = POpt::new(params);
-        let trace =
-            eba_sim::runner::run(&fip_ex, &popt, &pattern, &inits, &SimOptions::default())
-                .expect("run");
+        let trace = eba_sim::runner::run(&fip_ex, &popt, &pattern, &inits, &SimOptions::default())
+            .expect("run");
 
         let mut faults_known_time = u32::MAX;
         let mut ck_onset_time = u32::MAX;
@@ -92,8 +91,12 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
          knowledge arrives at time 2, P_opt decides in round 3 — while \
          P_min scales linearly with t.",
         &[
-            "n", "t", "faults known (time)", "CK onset (time)",
-            "P_opt round", "P_min round",
+            "n",
+            "t",
+            "faults known (time)",
+            "CK onset (time)",
+            "P_opt round",
+            "P_min round",
         ],
     );
     for r in &rows {

@@ -17,11 +17,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        caption: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             title: title.into(),
             caption: caption.into(),

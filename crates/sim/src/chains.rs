@@ -169,8 +169,9 @@ mod tests {
         for trial in 0..300 {
             let pat = sampler.sample(&mut rng);
             let bits: u32 = rng.random_range(0..16);
-            let inits: Vec<Value> =
-                (0..4).map(|i| Value::from_bit(((bits >> i) & 1) as u8)).collect();
+            let inits: Vec<Value> = (0..4)
+                .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
+                .collect();
             let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
             verify_zero_chains(&trace).unwrap_or_else(|agent| {
                 panic!("trial {trial}: {agent} decided 0 without a 0-chain")

@@ -16,15 +16,33 @@
 //! The faulty *set* remains a free choice even with zero drops: a faulty
 //! agent that acts nonfaulty (footnote 3 of the paper) yields a different
 //! run than the same trajectory with the agent nonfaulty.
+//!
+//! # Sharding
+//!
+//! The search space factors into independent **work items** — one per
+//! `(N, initial preferences)` pair — because deduplication can never merge
+//! runs across items: the dedup key contains `N`, and every exchange
+//! records the initial value in its time-0 state, so runs from different
+//! initial configurations differ in `states[0]`. [`enumerate_parallel`]
+//! exploits this: it shards the items across threads and concatenates the
+//! per-item results in item order, which reproduces the sequential
+//! [`enumerate_runs`] output **bit for bit**. (When several failure
+//! conditions coincide — e.g. the run limit is exceeded *and* a later item
+//! is too branchy — the two entry points are guaranteed to agree that the
+//! enumeration fails, but may report different error messages.)
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use eba_core::exchange::InformationExchange;
-use eba_core::failures::{init_configs, nonfaulty_choices};
+use eba_core::failures::nonfaulty_choices;
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{Action, AgentId, AgentSet, EbaError, Value};
+
+pub use crate::runner::{Parallelism, SimOptions};
 
 /// One enumerated run: the nonfaulty set plus the full trajectory.
 #[derive(Clone, Debug)]
@@ -40,7 +58,7 @@ pub struct EnumRun<E: InformationExchange> {
 }
 
 /// Enumerates every run of `(E, P)` under `SO(t)` up to `horizon` rounds,
-/// deduplicated by `(N, trajectory)`.
+/// deduplicated by `(N, trajectory)`, on the calling thread.
 ///
 /// # Errors
 ///
@@ -57,87 +75,285 @@ where
     E: InformationExchange,
     P: ActionProtocol<E>,
 {
+    let items = WorkItems::new(ex.params(), limit)?;
+    let mut runs: Vec<EnumRun<E>> = Vec::new();
+    for idx in 0..items.len() {
+        let (nonfaulty, inits) = items.get(idx);
+        let item_runs = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit)?;
+        merge_item(&mut runs, item_runs, limit)?;
+    }
+    Ok(runs)
+}
+
+/// Enumerates every run of `(E, P)` exactly as [`enumerate_runs`] does,
+/// sharding the independent `(N, inits)` work items across threads.
+///
+/// Successful results are **bit-for-bit identical** to the sequential
+/// enumerator: each work item is explored by the same depth-first search,
+/// and the per-item results are concatenated in deterministic item order
+/// regardless of which thread finished first.
+///
+/// # Errors
+///
+/// Fails exactly when [`enumerate_runs`] fails (over-branchy round, or
+/// more than `limit` deduplicated runs), though when *several* failure
+/// conditions coincide the reported message may name a different one.
+pub fn enumerate_parallel<E, P>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    limit: usize,
+    parallelism: Parallelism,
+) -> Result<Vec<EnumRun<E>>, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+{
+    let items = WorkItems::new(ex.params(), limit)?;
+    let workers = parallelism.worker_count().min(items.len().max(1));
+    if workers <= 1 {
+        return enumerate_runs(ex, proto, horizon, limit);
+    }
+
+    // Work distribution: a shared cursor hands items out in index order; a
+    // slot per item collects its result so the merge below can run in item
+    // order no matter which worker produced what.
+    type ItemSlot<E> = Option<Result<Vec<EnumRun<E>>, EbaError>>;
+    let cursor = AtomicUsize::new(0);
+    let committed = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<ItemSlot<E>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                // Cheap early exit once any item errored or the run limit
+                // is globally blown; the merge reports the error either
+                // way, so unprocessed slots are fine.
+                if failed.load(Ordering::Relaxed) || committed.load(Ordering::Relaxed) > limit {
+                    break;
+                }
+                let (nonfaulty, inits) = items.get(idx);
+                let result = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit);
+                match &result {
+                    Ok(item_runs) => {
+                        committed.fetch_add(item_runs.len(), Ordering::Relaxed);
+                    }
+                    Err(_) => failed.store(true, Ordering::Relaxed),
+                }
+                slots.lock().expect("no poisoned worker")[idx] = Some(result);
+            });
+        }
+    });
+
+    let mut runs: Vec<EnumRun<E>> = Vec::new();
+    let mut remaining = slots.into_inner().expect("workers joined").into_iter();
+    while let Some(slot) = remaining.next() {
+        match slot {
+            Some(Ok(item_runs)) => merge_item(&mut runs, item_runs, limit)?,
+            Some(Err(e)) => return Err(e),
+            // A `None` slot only happens after an abort: some item errored
+            // or the committed counter blew the limit. Report the recorded
+            // item error if there is one, else it was the run limit.
+            None => {
+                for later in remaining {
+                    if let Some(Err(e)) = later {
+                        return Err(e);
+                    }
+                }
+                return Err(limit_error(limit));
+            }
+        }
+    }
+    Ok(runs)
+}
+
+/// Enumerates every run of `(E, P)` with the [`Parallelism`] carried by
+/// `opts` (see [`SimOptions::with_parallelism`]); otherwise identical to
+/// [`enumerate_parallel`].
+///
+/// # Errors
+///
+/// Fails exactly when [`enumerate_runs`] fails (over-branchy round, or
+/// more than `limit` deduplicated runs).
+pub fn enumerate_with<E, P>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    limit: usize,
+    opts: &SimOptions,
+) -> Result<Vec<EnumRun<E>>, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+{
+    enumerate_parallel(ex, proto, horizon, limit, opts.parallelism)
+}
+
+/// The independent shards of the search space, addressed by index in the
+/// deterministic order the sequential enumerator visits them: nonfaulty
+/// sets in [`nonfaulty_choices`] order, then initial configurations in
+/// [`init_configs`] order (agent 0 = least-significant bit).
+///
+/// Items are *decoded from the index on demand* rather than materialized:
+/// there are `|choices| · 2^n` of them, which dwarfs the run limit long
+/// before memory would.
+struct WorkItems {
+    choices: Vec<AgentSet>,
+    n: usize,
+}
+
+impl WorkItems {
+    /// Fails fast with the run-limit error when the item count alone
+    /// already exceeds `limit`: every `(N, inits)` item contributes at
+    /// least its drop-free trajectory as one deduplicated run, and items
+    /// never dedup against each other, so `items > limit` implies the
+    /// enumeration must exceed the limit.
+    fn new(params: eba_core::types::Params, limit: usize) -> Result<Self, EbaError> {
+        let choices = nonfaulty_choices(params);
+        let total = 1usize
+            .checked_shl(params.n() as u32)
+            .and_then(|per_choice| choices.len().checked_mul(per_choice));
+        match total {
+            Some(total) if total <= limit => Ok(WorkItems {
+                choices,
+                n: params.n(),
+            }),
+            _ => Err(limit_error(limit)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.choices.len() << self.n
+    }
+
+    fn get(&self, idx: usize) -> (AgentSet, Vec<Value>) {
+        let (choice, mask) = (idx >> self.n, idx & ((1 << self.n) - 1));
+        let inits = (0..self.n)
+            .map(|i| Value::from_bit(((mask >> i) & 1) as u8))
+            .collect();
+        (self.choices[choice], inits)
+    }
+}
+
+/// Appends one item's runs to the global result, enforcing the global run
+/// limit. Deduplication is *not* needed here: see the module docs — runs
+/// from different items always differ in `N` or `states[0]`.
+fn merge_item<E: InformationExchange>(
+    runs: &mut Vec<EnumRun<E>>,
+    item_runs: Vec<EnumRun<E>>,
+    limit: usize,
+) -> Result<(), EbaError> {
+    if runs.len() + item_runs.len() > limit {
+        return Err(limit_error(limit));
+    }
+    runs.extend(item_runs);
+    Ok(())
+}
+
+fn limit_error(limit: usize) -> EbaError {
+    EbaError::InvalidInput(format!(
+        "run enumeration exceeded the limit of {limit} runs"
+    ))
+}
+
+/// Depth-first enumeration of one `(N, inits)` work item, deduplicated by
+/// `(N, trajectory)` within the item.
+fn enumerate_item<E, P>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    nonfaulty: AgentSet,
+    inits: &[Value],
+    limit: usize,
+) -> Result<Vec<EnumRun<E>>, EbaError>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
     let params = ex.params();
     let n = params.n();
+    let faulty = nonfaulty.complement(n);
     let mut runs: Vec<EnumRun<E>> = Vec::new();
     // Dedup buckets: hash(N, states) → indices into `runs`.
     let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
 
-    for nonfaulty in nonfaulty_choices(params) {
-        let faulty = nonfaulty.complement(n);
-        for inits in init_configs(n) {
-            let init_states: Vec<E::State> = (0..n)
-                .map(|i| ex.initial_state(AgentId::new(i), inits[i]))
-                .collect();
-            let mut stack = vec![Partial {
-                states: vec![init_states],
-                actions: Vec::new(),
-            }];
-            while let Some(partial) = stack.pop() {
-                let m = partial.actions.len() as u32;
-                if m == horizon {
-                    commit(
-                        &mut runs,
-                        &mut seen,
-                        nonfaulty,
-                        inits.clone(),
-                        partial,
-                        limit,
-                    )?;
-                    continue;
-                }
-                let current = partial.states.last().expect("nonempty");
-                let actions: Vec<Action> = (0..n)
-                    .map(|i| proto.act(AgentId::new(i), &current[i]))
-                    .collect();
-                let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
-                    .map(|i| ex.outgoing(AgentId::new(i), &current[i], actions[i]))
-                    .collect();
-                // Branch points: non-⊥ messages from faulty senders.
-                let mut slots: Vec<(usize, usize)> = Vec::new();
-                #[allow(clippy::needless_range_loop)] // `to` is a receiver id
-                for from in faulty.iter() {
-                    for to in 0..n {
-                        if outgoing[from.index()][to].is_some() {
-                            slots.push((from.index(), to));
-                        }
-                    }
-                }
-                if slots.len() > 24 {
-                    return Err(EbaError::InvalidInput(format!(
-                        "round {} offers {} delivery choices; instance too \
-                         large to enumerate",
-                        m + 1,
-                        slots.len()
-                    )));
-                }
-                for mask in 0u32..(1 << slots.len()) {
-                    let dropped = |from: usize, to: usize| {
-                        slots
-                            .iter()
-                            .position(|s| *s == (from, to))
-                            .is_some_and(|idx| mask & (1 << idx) != 0)
-                    };
-                    let next: Vec<E::State> = (0..n)
-                        .map(|j| {
-                            let received: Vec<Option<E::Message>> = (0..n)
-                                .map(|i| {
-                                    if dropped(i, j) {
-                                        None
-                                    } else {
-                                        outgoing[i][j].clone()
-                                    }
-                                })
-                                .collect();
-                            ex.update(AgentId::new(j), &current[j], actions[j], &received)
-                        })
-                        .collect();
-                    let mut branch = partial.clone();
-                    branch.states.push(next);
-                    branch.actions.push(actions.clone());
-                    stack.push(branch);
+    let init_states: Vec<E::State> = (0..n)
+        .map(|i| ex.initial_state(AgentId::new(i), inits[i]))
+        .collect();
+    let mut stack = vec![Partial {
+        states: vec![init_states],
+        actions: Vec::new(),
+    }];
+    while let Some(partial) = stack.pop() {
+        let m = partial.actions.len() as u32;
+        if m == horizon {
+            commit(
+                &mut runs,
+                &mut seen,
+                nonfaulty,
+                inits.to_vec(),
+                partial,
+                limit,
+            )?;
+            continue;
+        }
+        let current = partial.states.last().expect("nonempty");
+        let actions: Vec<Action> = (0..n)
+            .map(|i| proto.act(AgentId::new(i), &current[i]))
+            .collect();
+        let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
+            .map(|i| ex.outgoing(AgentId::new(i), &current[i], actions[i]))
+            .collect();
+        // Branch points: non-⊥ messages from faulty senders.
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `to` is a receiver id
+        for from in faulty.iter() {
+            for to in 0..n {
+                if outgoing[from.index()][to].is_some() {
+                    slots.push((from.index(), to));
                 }
             }
+        }
+        if slots.len() > 24 {
+            return Err(EbaError::InvalidInput(format!(
+                "round {} offers {} delivery choices; instance too \
+                 large to enumerate",
+                m + 1,
+                slots.len()
+            )));
+        }
+        for mask in 0u32..(1 << slots.len()) {
+            let dropped = |from: usize, to: usize| {
+                slots
+                    .iter()
+                    .position(|s| *s == (from, to))
+                    .is_some_and(|idx| mask & (1 << idx) != 0)
+            };
+            let next: Vec<E::State> = (0..n)
+                .map(|j| {
+                    let received: Vec<Option<E::Message>> = (0..n)
+                        .map(|i| {
+                            if dropped(i, j) {
+                                None
+                            } else {
+                                outgoing[i][j].clone()
+                            }
+                        })
+                        .collect();
+                    ex.update(AgentId::new(j), &current[j], actions[j], &received)
+                })
+                .collect();
+            let mut branch = partial.clone();
+            branch.states.push(next);
+            branch.actions.push(actions.clone());
+            stack.push(branch);
         }
     }
     Ok(runs)
@@ -177,9 +393,7 @@ fn commit<E: InformationExchange>(
         }
     }
     if runs.len() >= limit {
-        return Err(EbaError::InvalidInput(format!(
-            "run enumeration exceeded the limit of {limit} runs"
-        )));
+        return Err(limit_error(limit));
     }
     bucket.push(runs.len());
     runs.push(EnumRun {
@@ -266,6 +480,15 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_limit_is_enforced() {
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let p = PMin::new(params);
+        let err = enumerate_parallel(&ex, &p, 4, 10, Parallelism::Fixed(4)).unwrap_err();
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
     fn trajectories_are_deterministic_given_choices() {
         // Every enumerated run must replay exactly under the lockstep
         // runner with a pattern reconstructed from its drops. Spot-check
@@ -288,5 +511,31 @@ mod tests {
             r.nonfaulty == AgentSet::full(3) && r.inits == inits && r.states == trace.states
         });
         assert!(found, "the failure-free trajectory must be enumerated");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        // The headline guarantee: same runs, same order, for every
+        // worker count, including more workers than items.
+        let params = Params::new(3, 1).unwrap();
+        let ex = BasicExchange::new(params);
+        let p = PBasic::new(params);
+        let sequential = enumerate_runs(&ex, &p, 4, 1_000_000).unwrap();
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(3),
+            Parallelism::Fixed(64),
+        ] {
+            let parallel = enumerate_parallel(&ex, &p, 4, 1_000_000, parallelism).unwrap();
+            assert_eq!(sequential.len(), parallel.len(), "{parallelism:?}");
+            for (s, q) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.nonfaulty, q.nonfaulty, "{parallelism:?}");
+                assert_eq!(s.inits, q.inits, "{parallelism:?}");
+                assert_eq!(s.states, q.states, "{parallelism:?}");
+                assert_eq!(s.actions, q.actions, "{parallelism:?}");
+            }
+        }
     }
 }

@@ -15,7 +15,9 @@
 //! * [`chains`] — 0-chain reconstruction (Section 6);
 //! * [`enumerate`] — exhaustive generation of **all** runs `R_{E,F,P}` of
 //!   a context for small `(n, t)`, used by `eba-epistemic` to build
-//!   interpreted systems.
+//!   interpreted systems; sequential or sharded across threads
+//!   ([`enumerate::enumerate_parallel`]) with bit-for-bit identical
+//!   output.
 //!
 //! # Example
 //!
@@ -50,10 +52,10 @@ pub mod trace;
 pub mod prelude {
     pub use crate::chains::{verify_zero_chains, zero_chain_ending_at};
     pub use crate::dominance::{compare_corresponding, DominanceSummary, RunComparison};
-    pub use crate::enumerate::{enumerate_runs, EnumRun};
+    pub use crate::enumerate::{enumerate_parallel, enumerate_runs, enumerate_with, EnumRun};
     pub use crate::metrics::Metrics;
     pub use crate::render::{render_round_deliveries, render_timeline};
-    pub use crate::runner::{run, SimOptions};
+    pub use crate::runner::{run, Parallelism, SimOptions};
     pub use crate::spec::{check_decides_by, check_eba, check_validity_all, SpecViolation};
     pub use crate::trace::{Delivery, MsgClass, Trace};
 }

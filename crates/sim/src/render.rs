@@ -68,7 +68,14 @@ pub fn render_round_deliveries<E: InformationExchange>(trace: &Trace<E>, round: 
         };
         parts.push(format!("{} {arrow} {}", d.from, d.to));
     }
-    format!("round {round}: {}", if parts.is_empty() { "(silence)".into() } else { parts.join(", ") })
+    format!(
+        "round {round}: {}",
+        if parts.is_empty() {
+            "(silence)".into()
+        } else {
+            parts.join(", ")
+        }
+    )
 }
 
 #[cfg(test)]

@@ -9,6 +9,36 @@ use eba_core::types::{Action, AgentId, EbaError, Value};
 use crate::metrics::Metrics;
 use crate::trace::{Delivery, MsgClass, Trace};
 
+/// How much hardware parallelism batch work (exhaustive run enumeration,
+/// sweeps) may use. A single simulated run is always sequential — rounds
+/// are causally ordered — so this only affects APIs that process many
+/// independent runs, such as
+/// [`enumerate_parallel`](crate::enumerate::enumerate_parallel).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Everything on the calling thread (the default).
+    #[default]
+    Sequential,
+    /// One worker per available hardware thread.
+    Auto,
+    /// Exactly this many workers (`0` is treated as `1`).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The number of worker threads this setting resolves to on the
+    /// current machine (always at least 1).
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(k) => k.max(1),
+        }
+    }
+}
+
 /// Options for a simulation run.
 #[derive(Clone, Copy, Debug)]
 pub struct SimOptions {
@@ -18,6 +48,10 @@ pub struct SimOptions {
     /// Record per-round [`Delivery`] entries (needed for 0-chain
     /// reconstruction; cheap, on by default).
     pub record_deliveries: bool,
+    /// Worker threads for batch APIs that consume these options, such as
+    /// [`enumerate_with`](crate::enumerate::enumerate_with); a single
+    /// [`run`] ignores it (rounds are causally ordered).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SimOptions {
@@ -25,6 +59,7 @@ impl Default for SimOptions {
         SimOptions {
             horizon: None,
             record_deliveries: true,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -33,6 +68,12 @@ impl SimOptions {
     /// Overrides the horizon.
     pub fn with_horizon(mut self, rounds: u32) -> Self {
         self.horizon = Some(rounds);
+        self
+    }
+
+    /// Overrides the parallelism used by batch APIs.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -237,9 +278,11 @@ mod tests {
         // Agent 0 has init 0, decides round 1, but its announcement reaches
         // only agent 1.
         for to in 2..4 {
-            pat.drop_message(0, AgentId::new(0), AgentId::new(to)).unwrap();
+            pat.drop_message(0, AgentId::new(0), AgentId::new(to))
+                .unwrap();
         }
-        pat.drop_message(0, AgentId::new(0), AgentId::new(0)).unwrap();
+        pat.drop_message(0, AgentId::new(0), AgentId::new(0))
+            .unwrap();
         let inits = [Value::Zero, Value::One, Value::One, Value::One];
         let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
         // Agent 1 hears the 0 and decides in round 2; 2 and 3 only hear

@@ -51,7 +51,10 @@ impl fmt::Display for SpecViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecViolation::UniqueDecision { agent, round } => {
-                write!(f, "unique decision violated: {agent} re-decided in round {round}")
+                write!(
+                    f,
+                    "unique decision violated: {agent} re-decided in round {round}"
+                )
             }
             SpecViolation::Agreement { first, second } => write!(
                 f,
@@ -65,7 +68,11 @@ impl fmt::Display for SpecViolation {
             SpecViolation::Termination { agent } => {
                 write!(f, "termination violated: nonfaulty {agent} never decided")
             }
-            SpecViolation::DecisionBound { agent, round, bound } => write!(
+            SpecViolation::DecisionBound {
+                agent,
+                round,
+                bound,
+            } => write!(
                 f,
                 "decision bound violated: {agent} decided in round {round} > {bound}"
             ),
@@ -86,10 +93,7 @@ impl std::error::Error for SpecViolation {}
 /// # Errors
 ///
 /// Returns the first violation found.
-pub fn check_eba<E: InformationExchange>(
-    ex: &E,
-    trace: &Trace<E>,
-) -> Result<(), SpecViolation> {
+pub fn check_eba<E: InformationExchange>(ex: &E, trace: &Trace<E>) -> Result<(), SpecViolation> {
     let n = trace.params.n();
     // Unique decision: at most one Decide action per agent, and the state's
     // decided component must never change once set.
@@ -189,7 +193,11 @@ pub fn check_decides_by<E: InformationExchange>(
         match trace.decision_round(agent) {
             None => return Err(SpecViolation::Termination { agent }),
             Some(round) if round > bound => {
-                return Err(SpecViolation::DecisionBound { agent, round, bound });
+                return Err(SpecViolation::DecisionBound {
+                    agent,
+                    round,
+                    bound,
+                });
             }
             _ => {}
         }
@@ -213,8 +221,9 @@ mod tests {
         let p = PBasic::new(params());
         let pat = FailurePattern::failure_free(params());
         for bits in 0..16u32 {
-            let inits: Vec<Value> =
-                (0..4).map(|i| Value::from_bit(((bits >> i) & 1) as u8)).collect();
+            let inits: Vec<Value> = (0..4)
+                .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
+                .collect();
             let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();
             check_eba(&ex, &trace).unwrap();
             check_validity_all(&trace).unwrap();
@@ -233,8 +242,10 @@ mod tests {
         let mut pat = FailurePattern::new(p3, faulty.complement(3)).unwrap();
         pat.silence_agent(AgentId::new(0), 0..1, true).unwrap();
         // Round 2 (m = 1): deliver only to agent 2.
-        pat.drop_message(1, AgentId::new(0), AgentId::new(0)).unwrap();
-        pat.drop_message(1, AgentId::new(0), AgentId::new(1)).unwrap();
+        pat.drop_message(1, AgentId::new(0), AgentId::new(0))
+            .unwrap();
+        pat.drop_message(1, AgentId::new(0), AgentId::new(1))
+            .unwrap();
         pat.silence_agent(AgentId::new(0), 2..4, true).unwrap();
         let inits = [Value::Zero, Value::One, Value::One];
         let trace = run(&ex, &p, &pat, &inits, &SimOptions::default()).unwrap();

@@ -175,8 +175,10 @@ where
                 assert!(frames[batch.from].is_none(), "duplicate batch");
                 frames[batch.from] = Some(batch.frames);
             }
-            let frames: Vec<Vec<Option<Vec<u8>>>> =
-                frames.into_iter().map(|f| f.expect("all agents sent")).collect();
+            let frames: Vec<Vec<Option<Vec<u8>>>> = frames
+                .into_iter()
+                .map(|f| f.expect("all agents sent"))
+                .collect();
             for row in frames.iter() {
                 for frame in row.iter().flatten() {
                     frames_sent += 1;
@@ -189,11 +191,7 @@ where
                         let frame = frames[from][to].clone();
                         match frame {
                             Some(f)
-                                if pattern.delivers(
-                                    m,
-                                    AgentId::new(from),
-                                    AgentId::new(to),
-                                ) =>
+                                if pattern.delivers(m, AgentId::new(from), AgentId::new(to)) =>
                             {
                                 wire_bytes_delivered += f.len() as u64;
                                 Some(f)
@@ -251,10 +249,12 @@ mod tests {
         let ex = BasicExchange::new(params());
         let proto = PBasic::new(params());
         let pattern = FailurePattern::failure_free(params());
-        let report =
-            run_cluster(&ex, &proto, &BasicCodec, &pattern, &[Value::One; 4], 4).unwrap();
+        let report = run_cluster(&ex, &proto, &BasicCodec, &pattern, &[Value::One; 4], 4).unwrap();
         assert!(report.decision_rounds.iter().all(|r| *r == Some(2)));
-        assert!(report.decision_values.iter().all(|v| *v == Some(Value::One)));
+        assert!(report
+            .decision_values
+            .iter()
+            .all(|v| *v == Some(Value::One)));
     }
 
     #[test]
@@ -268,18 +268,12 @@ mod tests {
         for _ in 0..40 {
             let pattern = sampler.sample(&mut rng);
             let bits: u32 = rng.random_range(0..16);
-            let inits: Vec<Value> =
-                (0..4).map(|i| Value::from_bit(((bits >> i) & 1) as u8)).collect();
+            let inits: Vec<Value> = (0..4)
+                .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
+                .collect();
             let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default()).unwrap();
-            let report = run_cluster(
-                &ex,
-                &proto,
-                &BasicCodec,
-                &pattern,
-                &inits,
-                trace.horizon(),
-            )
-            .unwrap();
+            let report =
+                run_cluster(&ex, &proto, &BasicCodec, &pattern, &inits, trace.horizon()).unwrap();
             assert_eq!(report.decision_rounds, trace.metrics.decision_rounds);
             assert_eq!(report.decision_values, trace.metrics.decision_values);
             // Final states agree bit for bit (codecs are loss-free).
@@ -308,8 +302,7 @@ mod tests {
         let ex = MinExchange::new(params());
         let proto = PMin::new(params());
         let pattern = FailurePattern::failure_free(params());
-        let report =
-            run_cluster(&ex, &proto, &MinCodec, &pattern, &[Value::One; 4], 4).unwrap();
+        let report = run_cluster(&ex, &proto, &MinCodec, &pattern, &[Value::One; 4], 4).unwrap();
         assert_eq!(report.wire_bytes_sent, 16);
         assert_eq!(report.frames_sent, 16);
         assert_eq!(report.wire_bytes_delivered, 16);

@@ -172,8 +172,9 @@ impl WireCodec<FipMsg> for FipCodec {
         let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
         let time = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
         let pref_bytes = n.div_ceil(4);
-        let prefs: Vec<PrefLabel> =
-            unpack2(&bytes[6..6 + pref_bytes], n).map(pref_from_bits).collect();
+        let prefs: Vec<PrefLabel> = unpack2(&bytes[6..6 + pref_bytes], n)
+            .map(pref_from_bits)
+            .collect();
         let edge_count = time as usize * n * n;
         let edges: Vec<EdgeLabel> = unpack2(&bytes[6 + pref_bytes..], edge_count)
             .map(edge_from_bits)

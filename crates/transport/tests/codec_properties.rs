@@ -18,22 +18,20 @@ fn roundtrip_fip_run(
 ) -> Result<(), TestCaseError> {
     let params = Params::new(n, n - 2).unwrap();
     let ex = FipExchange::new(params);
-    let faulty: Vec<usize> = (0..n).filter(|i| faulty_bits & (1 << i) != 0).take(n - 2).collect();
+    let faulty: Vec<usize> = (0..n)
+        .filter(|i| faulty_bits & (1 << i) != 0)
+        .take(n - 2)
+        .collect();
     let dropped = |round: u32, from: usize, to: usize| {
         faulty.contains(&from)
-            && drop_seeds
-                .iter()
-                .any(|s| (s % rounds as u64) as u32 == round
+            && drop_seeds.iter().any(|s| {
+                (s % rounds as u64) as u32 == round
                     && ((s >> 8) % n as u64) as usize == from
-                    && ((s >> 16) % n as u64) as usize == to)
+                    && ((s >> 16) % n as u64) as usize == to
+            })
     };
     let mut states: Vec<FipState> = (0..n)
-        .map(|i| {
-            ex.initial_state(
-                AgentId::new(i),
-                Value::from_bit((init_bits >> i) & 1),
-            )
-        })
+        .map(|i| ex.initial_state(AgentId::new(i), Value::from_bit((init_bits >> i) & 1)))
         .collect();
     for round in 0..rounds {
         let outgoing: Vec<Vec<Option<FipMsg>>> = (0..n)

@@ -1,51 +1,131 @@
-//! Quickstart: run eventual Byzantine agreement among 5 agents, one of
-//! which omits messages, and inspect the outcome.
+//! Quickstart: a complete, asserting walkthrough of the crate.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Two scenarios, both checked with `assert!`s so the example doubles as
+//! an executable piece of documentation (CI runs it):
+//!
+//! 1. **Failure-free `P_opt`** — the paper's optimal protocol over the
+//!    full-information exchange decides in round 2 when nothing fails
+//!    (Prop 8.2 analogue for the FIP), printed round by round.
+//! 2. **`P_basic` under omissions** — a faulty agent drops messages, the
+//!    protocol still satisfies the EBA specification, and every
+//!    0-decision is justified by a 0-chain.
 
 use eba::core::protocols::ActionProtocol;
 use eba::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 5 agents, at most 2 omission-faulty (SO(2)).
+    failure_free_popt()?;
+    lossy_pbasic()?;
+    println!("\nquickstart: all assertions passed");
+    Ok(())
+}
+
+/// Scenario 1: `P_opt` on a failure-free run, round-by-round.
+fn failure_free_popt() -> Result<(), Box<dyn std::error::Error>> {
+    // 5 agents, at most 2 omission-faulty (the SO(2) context).
     let params = Params::new(5, 2)?;
 
-    // The paper's basic information exchange + its optimal action protocol.
+    // P_opt reads the communication graph of the full-information
+    // exchange E_fip; together they are optimal among EBA protocols
+    // (Prop 7.9 / Cor 7.8).
+    let exchange = FipExchange::new(params);
+    let protocol = POpt::new(params);
+
+    // Agent 0 prefers 0, everyone else prefers 1 — and nobody fails.
+    let inits = vec![Value::Zero, Value::One, Value::One, Value::One, Value::One];
+    let pattern = FailurePattern::failure_free(params);
+
+    let trace = run(
+        &exchange,
+        &protocol,
+        &pattern,
+        &inits,
+        &SimOptions::default(),
+    )?;
+
+    println!(
+        "== scenario 1: {} over {} on a failure-free run ==",
+        protocol.name(),
+        exchange.name(),
+    );
+
+    // Round-by-round state: `states[m][i]` is agent i's state at time m.
+    for (m, round_states) in trace.states.iter().enumerate() {
+        println!("  time {m}:");
+        for (i, state) in round_states.iter().enumerate() {
+            println!("    a{i}: {state}");
+        }
+        if m >= 2 {
+            println!("    … (all later rounds are quiescent)");
+            break;
+        }
+    }
+
+    // Agent 0 holds the 0 and can decide it immediately (round 1); with
+    // full information and no failures everyone else hears the 0 in round
+    // 1 and decides it in round 2 — no EBA protocol can be faster.
+    for agent in params.agents() {
+        assert_eq!(trace.decision_value(agent), Some(Value::Zero));
+        let expected = if agent == AgentId::new(0) { 1 } else { 2 };
+        assert_eq!(trace.decision_round(agent), Some(expected));
+    }
+    println!("  a0 decided 0 in round 1; everyone else in round 2 (optimal)");
+
+    // The four EBA properties of Section 5 hold.
+    check_eba(&exchange, &trace)?;
+    check_validity_all(&trace)?;
+    check_decides_by(&trace, params.decide_by_round())?;
+    Ok(())
+}
+
+/// Scenario 2: `P_basic` against a sending-omission adversary.
+fn lossy_pbasic() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::new(5, 2)?;
     let exchange = BasicExchange::new(params);
     let protocol = PBasic::new(params);
 
-    // Agent 0 prefers 0; everyone else prefers 1.
-    let inits = vec![
-        Value::Zero,
-        Value::One,
-        Value::One,
-        Value::One,
-        Value::One,
-    ];
+    let inits = vec![Value::Zero, Value::One, Value::One, Value::One, Value::One];
 
     // Adversary: agent 4 is faulty and drops its round-1 and round-2
     // messages to agents 1 and 2.
-    let mut pattern = FailurePattern::new(
-        params,
-        AgentSet::singleton(AgentId::new(4)).complement(5),
-    )?;
+    let mut pattern =
+        FailurePattern::new(params, AgentSet::singleton(AgentId::new(4)).complement(5))?;
     for m in 0..2 {
         pattern.drop_message(m, AgentId::new(4), AgentId::new(1))?;
         pattern.drop_message(m, AgentId::new(4), AgentId::new(2))?;
     }
 
-    // Execute the run.
-    let trace = run(&exchange, &protocol, &pattern, &inits, &SimOptions::default())?;
+    let trace = run(
+        &exchange,
+        &protocol,
+        &pattern,
+        &inits,
+        &SimOptions::default(),
+    )?;
 
-    println!("== {} over {} with {} ==", protocol.name(), exchange.name(), params);
+    println!(
+        "\n== scenario 2: {} over {} under omissions ==",
+        protocol.name(),
+        exchange.name(),
+    );
     for agent in params.agents() {
         println!(
             "  {agent}: decided {} in round {} ({})",
-            trace.decision_value(agent).map_or("⊥".into(), |v| v.to_string()),
-            trace.decision_round(agent).map_or("∞".into(), |r| r.to_string()),
-            if pattern.is_faulty(agent) { "faulty" } else { "nonfaulty" },
+            trace
+                .decision_value(agent)
+                .map_or("⊥".into(), |v| v.to_string()),
+            trace
+                .decision_round(agent)
+                .map_or("∞".into(), |r| r.to_string()),
+            if pattern.is_faulty(agent) {
+                "faulty"
+            } else {
+                "nonfaulty"
+            },
         );
     }
     println!(
@@ -53,18 +133,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.metrics.messages_sent, trace.metrics.bits_sent, trace.metrics.messages_delivered,
     );
 
-    // The paper's four EBA properties hold on every run (Prop 6.1):
+    // The spec holds on every run of the context, lossy or not (Prop 6.1);
+    // decisions arrive by round t + 2.
     check_eba(&exchange, &trace)?;
     check_validity_all(&trace)?;
     check_decides_by(&trace, params.decide_by_round())?;
-    println!("  EBA specification: satisfied (decisions by round t + 2 = {})", params.decide_by_round());
+    assert!(trace
+        .metrics
+        .decision_rounds
+        .iter()
+        .all(|r| r.is_some_and(|round| round <= params.decide_by_round())));
+    // Agreement on the only value anyone held besides 1's majority: the 0
+    // spread from agent 0, so everyone decides 0.
+    assert!(params
+        .agents()
+        .all(|a| trace.decision_value(a) == Some(Value::Zero)));
+    println!(
+        "  EBA specification: satisfied (decisions by round t + 2 = {})",
+        params.decide_by_round()
+    );
 
     // Every 0-decision is backed by a 0-chain (the paper's key safety
-    // device against omission failures).
-    if let Some(chain) = zero_chain_ending_at(&trace, AgentId::new(3)) {
-        let rendered: Vec<String> = chain.iter().map(|a| a.to_string()).collect();
-        println!("  0-chain into a3: {}", rendered.join(" → "));
-    }
+    // device against omission failures): an unbroken path of Decide(0)
+    // messages from an agent that initially preferred 0.
+    let chain = zero_chain_ending_at(&trace, AgentId::new(3)).expect("a3 decided 0");
+    let rendered: Vec<String> = chain.iter().map(|a| a.to_string()).collect();
+    println!("  0-chain into a3: {}", rendered.join(" → "));
+    // (The Err carries the first agent whose 0-decision lacks a chain.)
+    verify_zero_chains(&trace).map_err(|a| format!("{a} decided 0 without a 0-chain"))?;
 
     // A compact timeline of the whole run.
     println!("\n{}", render_timeline(&trace));

@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     rounds(
         "P_basic",
-        basic.metrics.max_decision_round(pattern.nonfaulty()).unwrap(),
+        basic
+            .metrics
+            .max_decision_round(pattern.nonfaulty())
+            .unwrap(),
     );
     let min = run(
         &MinExchange::new(params),

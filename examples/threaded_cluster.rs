@@ -40,10 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for agent in params.agents() {
         println!(
             "  {agent}: decided {} in round {}",
-            report.decision_values[agent.index()]
-                .map_or("⊥".into(), |v| v.to_string()),
-            report.decision_rounds[agent.index()]
-                .map_or("∞".into(), |r| r.to_string()),
+            report.decision_values[agent.index()].map_or("⊥".into(), |v| v.to_string()),
+            report.decision_rounds[agent.index()].map_or("∞".into(), |r| r.to_string()),
         );
     }
     println!(

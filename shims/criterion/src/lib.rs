@@ -1,0 +1,246 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate implements the subset of the criterion 0.5 API the EBA benches
+//! use: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`/`measurement_time`/`throughput`, `bench_function`,
+//! `bench_with_input`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: per benchmark it warms up, then
+//! times batches until the measurement budget is spent, and prints the
+//! mean wall-clock time per iteration. There is no statistical analysis,
+//! no HTML report, and no saved baseline — this harness exists so the
+//! benches compile, run, and print comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (for single-function sweeps).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` take either a
+/// string or an explicit id.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Declared throughput of a benchmark (accepted and echoed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The bench harness entry point.
+pub struct Criterion {
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time: Duration::from_millis(300),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let time = self.default_measurement_time;
+        run_one("", &id.into_benchmark_id().id, time, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (accepted for API compatibility;
+    /// this harness batches by time, not by sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // The real criterion spends this long per benchmark; cap it so a
+        // full offline bench sweep stays fast.
+        self.measurement_time = d.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Declares the group's throughput (echoed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("  throughput: {t:?}");
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().id,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.id, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    measurement_time: Duration,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock duration per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup.
+        black_box(f());
+        black_box(f());
+
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+            // Don't spin forever on nanosecond-scale bodies.
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.mean = Some(start.elapsed() / iters.max(1) as u32);
+    }
+}
+
+fn run_one(group: &str, id: &str, measurement_time: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measurement_time,
+        mean: None,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match bencher.mean {
+        Some(mean) => println!("  bench {label:<40} {mean:>12.2?}/iter"),
+        None => println!("  bench {label:<40} (no measurement)"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

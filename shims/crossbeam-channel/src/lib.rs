@@ -1,0 +1,205 @@
+//! Offline stand-in for the
+//! [`crossbeam-channel`](https://crates.io/crates/crossbeam-channel) crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate provides [`bounded`]/[`unbounded`] channels with crossbeam's
+//! `Sender`/`Receiver` API over `std::sync::mpsc`. Multi-producer
+//! single-consumer only (all the transport layer needs); `select!` and
+//! receiver cloning are not provided.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+}
+
+/// Creates a bounded FIFO channel with capacity `cap` (`0` = rendezvous).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+}
+
+enum SenderKind<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// The sending half; clonable across threads.
+pub struct Sender<T>(SenderKind<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(match &self.0 {
+            SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+            SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+        })
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if the receiving half has disconnected.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderKind::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            SenderKind::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+/// The receiving half.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and every sender has
+    /// disconnected.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] if no message is ready, or
+    /// [`TryRecvError::Disconnected`] once the channel is empty and every
+    /// sender has disconnected.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocks for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] if the timeout elapses, or
+    /// [`RecvTimeoutError::Disconnected`] once the channel is empty and
+    /// every sender has disconnected.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Iterates over messages until every sender disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Blocking iterator over received messages; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// The receiver disconnected; the unsent message is returned.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Every sender disconnected and the channel is drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message was ready.
+    Empty,
+    /// Every sender disconnected and the channel is drained.
+    Disconnected,
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed first.
+    Timeout,
+    /// Every sender disconnected and the channel is drained.
+    Disconnected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || tx.send(1).unwrap());
+            scope.spawn(move || tx2.send(2).unwrap());
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        });
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn bounded_preserves_fifo() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_error_returns_message() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let SendError(msg) = tx.send(7).unwrap_err();
+        assert_eq!(msg, 7);
+    }
+}

@@ -1,0 +1,33 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec<T>` with a random length; see [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.clone());
+        (0..len).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length is uniform in `size` and whose elements
+/// come from `element`.
+///
+/// (Named `vec` for API compatibility with real proptest, even though the
+/// name collides with the `vec!` macro in rustdoc links.)
+#[allow(clippy::module_name_repetitions)]
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

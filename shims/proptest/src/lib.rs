@@ -1,0 +1,149 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate re-implements the subset of the proptest API the EBA workspace
+//! uses: the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies,
+//! [`arbitrary::any`], [`collection::vec()`], [`sample::subsequence`], and
+//! the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its sampled inputs but does
+//!   not minimize them;
+//! * **deterministic seeding** — case `k` of every test draws from a fixed
+//!   seed mixed with `k`, so failures reproduce exactly across runs and
+//!   machines (real proptest defaults to OS entropy plus a regression
+//!   file).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import used by every proptest test module.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a proptest body; on failure returns a
+/// [`test_runner::TestCaseError`] instead of panicking (so the harness can
+/// report the sampled inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `{:?}` != `{:?}`",
+            ::std::format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that samples its arguments `config.cases` times and
+/// runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample_value(&$strat, &mut rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    ) => {
+                        ::std::panic!(
+                            ::std::concat!(
+                                "proptest case {}/{} failed: {}\n  inputs:",
+                                $("\n    ", stringify!($arg), " = {:?}",)+
+                            ),
+                            case,
+                            config.cases,
+                            message,
+                            $($arg,)+
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!{ [$cfg] $($rest)* }
+    };
+}

@@ -1,0 +1,45 @@
+//! Sampling from fixed collections.
+
+use std::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for order-preserving subsequences; see [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: RangeInclusive<usize>,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Vec<T> {
+        let len = rng.random_range(self.size.clone()).min(self.values.len());
+        let mut indices = (0..self.values.len()).choose_multiple(rng, len);
+        indices.sort_unstable();
+        indices
+            .into_iter()
+            .map(|i| self.values[i].clone())
+            .collect()
+    }
+}
+
+/// Generates subsequences of `values` (order preserved) whose length is
+/// uniform in `size`.
+///
+/// # Panics
+///
+/// Panics if the smallest requested length exceeds `values.len()`.
+pub fn subsequence<T: Clone>(values: Vec<T>, size: RangeInclusive<usize>) -> Subsequence<T> {
+    assert!(
+        *size.start() <= values.len(),
+        "cannot draw {} items from {}",
+        size.start(),
+        values.len()
+    );
+    Subsequence { values, size }
+}

@@ -1,0 +1,78 @@
+//! Configuration and failure plumbing for the [`proptest!`](crate::proptest)
+//! macro.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a single sampled case can fail.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert!` (or explicit `Err`) fired: the property is false.
+    Fail(String),
+    /// The inputs were rejected (e.g. a precondition failed); the case is
+    /// skipped, not counted as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Builds the deterministic RNG for case `case` of test `name`: a fixed
+/// base seed mixed with an FNV-1a hash of the test name and the case
+/// index, so every test/case pair reproduces the same inputs on every run
+/// and machine.
+pub fn case_rng(name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= case as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    StdRng::seed_from_u64(h)
+}

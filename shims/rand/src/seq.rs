@@ -1,0 +1,66 @@
+//! Sequence sampling helpers.
+
+use crate::RngCore;
+
+/// Random sampling from iterators.
+pub trait IteratorRandom: Iterator + Sized {
+    /// Collects `amount` items chosen uniformly without replacement
+    /// (reservoir sampling). Returns fewer items if the iterator is
+    /// shorter than `amount`. Order of the result is unspecified.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        if amount == 0 {
+            return reservoir;
+        }
+        for item in self.by_ref().take(amount) {
+            reservoir.push(item);
+        }
+        for (offset, item) in self.enumerate() {
+            let i = amount as u64 + offset as u64;
+            let j = rng.next_u64() % (i + 1);
+            if (j as usize) < amount {
+                reservoir[j as usize] = item;
+            }
+        }
+        reservoir
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn exact_amount_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 0..=10 {
+            let mut picked = (0..10).choose_multiple(&mut rng, k);
+            picked.sort_unstable();
+            let len = picked.len();
+            picked.dedup();
+            assert_eq!(picked.len(), len, "duplicates in sample");
+            assert_eq!(len, k.min(10));
+            assert!(picked.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn every_element_reachable() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            for x in (0..5).choose_multiple(&mut rng, 2) {
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

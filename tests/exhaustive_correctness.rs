@@ -61,10 +61,12 @@ fn check_enum_run<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> Result<()
 
 fn exhaustive<E, P>(ex: E, proto: P, horizon: u32) -> usize
 where
-    E: InformationExchange,
-    P: ActionProtocol<E>,
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
 {
-    let runs = enumerate_runs(&ex, &proto, horizon, 10_000_000).expect("enumerable");
+    let runs = enumerate_parallel(&ex, &proto, horizon, 10_000_000, Parallelism::Auto)
+        .expect("enumerable");
     assert!(!runs.is_empty());
     for run in &runs {
         check_enum_run(&ex, run).unwrap_or_else(|e| panic!("{e}"));

@@ -86,10 +86,16 @@ impl ActionProtocol<MinExchange> for ContrarianMin {
 
 /// Searches all enumerated runs for an EBA violation; returns how many
 /// runs violate.
-fn count_violations<P: ActionProtocol<MinExchange>>(params: Params, proto: P) -> usize {
+fn count_violations<P: ActionProtocol<MinExchange> + Sync>(params: Params, proto: P) -> usize {
     let ex = MinExchange::new(params);
-    let runs = enumerate_runs(&ex, &proto, params.default_horizon() + 1, 10_000_000)
-        .expect("enumerable");
+    let runs = enumerate_parallel(
+        &ex,
+        &proto,
+        params.default_horizon() + 1,
+        10_000_000,
+        Parallelism::Auto,
+    )
+    .expect("enumerable");
     let mut violations = 0;
     for run in &runs {
         let final_states = run.states.last().unwrap();
@@ -133,7 +139,10 @@ fn eager_mutant_violates_eba_somewhere() {
 fn contrarian_mutant_breaks_agreement() {
     let params = Params::new(3, 1).unwrap();
     let violations = count_violations(params, ContrarianMin(params));
-    assert!(violations > 0, "deciding 0 on a heard 1 must break agreement");
+    assert!(
+        violations > 0,
+        "deciding 0 on a heard 1 must break agreement"
+    );
 }
 
 #[test]

@@ -96,7 +96,10 @@ fn introduction_bias_counterexample() {
         .find(|r| r.scenario.starts_with("r'") && r.protocol == "P_naive")
         .unwrap();
     assert_eq!(naive_rprime.violations, 1);
-    for r in rows.iter().filter(|r| r.protocol != "P_naive" || !r.scenario.starts_with("r'")) {
+    for r in rows
+        .iter()
+        .filter(|r| r.protocol != "P_naive" || !r.scenario.starts_with("r'"))
+    {
         assert_eq!(r.violations, 0, "{r:?}");
     }
 }

@@ -12,6 +12,7 @@ use eba_core::kbp::KnowledgeBasedProgram;
 use eba_core::prelude::*;
 use eba_epistemic::prelude::*;
 use eba_experiments::e7_implements::{self, E7Config};
+use eba_sim::prelude::Parallelism;
 
 fn bench_e7(c: &mut Criterion) {
     let (rows, table) = e7_implements::run(E7Config {
@@ -29,13 +30,12 @@ fn bench_e7(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(5));
     group.bench_function("build_system_min_n4_t2", |b| {
         let params = Params::new(4, 2).unwrap();
-        let proto = PMin::new(params);
         b.iter(|| {
-            let sys = InterpretedSystem::build(
-                MinExchange::new(params),
-                &proto,
+            let sys = InterpretedSystem::from_context(
+                Context::minimal(params),
                 params.default_horizon(),
                 10_000_000,
+                Parallelism::Sequential,
             )
             .unwrap();
             black_box(sys.point_count())
@@ -44,11 +44,11 @@ fn bench_e7(c: &mut Criterion) {
     group.bench_function("check_p0_min_n3_t1", |b| {
         let params = Params::new(3, 1).unwrap();
         let proto = PMin::new(params);
-        let sys = InterpretedSystem::build(
-            MinExchange::new(params),
-            &proto,
+        let sys = InterpretedSystem::from_context(
+            Context::minimal(params),
             params.default_horizon(),
             10_000_000,
+            Parallelism::Sequential,
         )
         .unwrap();
         b.iter(|| {

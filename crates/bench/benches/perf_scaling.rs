@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eba_core::graph::FipAnalysis;
 use eba_core::prelude::*;
 use eba_sim::prelude::*;
-use eba_transport::{run_cluster, BasicCodec};
+use eba_transport::{run_context_cluster, BasicCodec};
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_sim_pbasic_run");
@@ -24,20 +24,11 @@ fn bench_sim_throughput(c: &mut Criterion) {
     for n in [4usize, 8, 16, 32, 64] {
         let t = (n - 1) / 2;
         let params = Params::new(n, t).unwrap();
-        let ex = BasicExchange::new(params);
-        let proto = PBasic::new(params);
-        let pattern = FailurePattern::failure_free(params);
+        let ctx = Context::basic(params);
         let inits = vec![Value::One; n];
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let trace = eba_sim::runner::run(
-                    &ex,
-                    &proto,
-                    &pattern,
-                    black_box(&inits),
-                    &SimOptions::default(),
-                )
-                .unwrap();
+                let trace = Scenario::of(&ctx).inits(black_box(&inits)).run().unwrap();
                 black_box(trace.metrics.bits_sent)
             })
         });
@@ -56,15 +47,12 @@ fn bench_fip_analysis(c: &mut Criterion) {
         // Build a realistic graph: silent-faulty run to the horizon.
         let silent: AgentSet = (0..t).map(AgentId::new).collect();
         let pattern = silent_pattern(params, silent, params.default_horizon()).unwrap();
-        let ex = FipExchange::new(params);
-        let trace = eba_sim::runner::run(
-            &ex,
-            &POpt::new(params),
-            &pattern,
-            &vec![Value::One; n],
-            &SimOptions::default(),
-        )
-        .unwrap();
+        let ctx = Context::fip(params);
+        let trace = Scenario::of(&ctx)
+            .pattern(pattern)
+            .inits(&vec![Value::One; n])
+            .run()
+            .unwrap();
         let observer = AgentId::new(t);
         let state = trace.final_state(observer).clone();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -84,20 +72,18 @@ fn bench_transport(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
     let n = 8;
     let params = Params::new(n, 3).unwrap();
-    let ex = BasicExchange::new(params);
-    let proto = PBasic::new(params);
+    let ctx = Context::basic(params);
     let pattern = FailurePattern::failure_free(params);
     let inits = vec![Value::One; n];
     group.bench_function("lockstep_n8", |b| {
         b.iter(|| {
-            let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &SimOptions::default())
-                .unwrap();
+            let trace = Scenario::of(&ctx).inits(&inits).run().unwrap();
             black_box(trace.metrics.messages_sent)
         })
     });
     group.bench_function("threads_n8", |b| {
         b.iter(|| {
-            let report = run_cluster(&ex, &proto, &BasicCodec, &pattern, &inits, 6).unwrap();
+            let report = run_context_cluster(&ctx, &BasicCodec, &pattern, &inits, 6).unwrap();
             black_box(report.frames_sent)
         })
     });

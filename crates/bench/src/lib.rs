@@ -16,52 +16,64 @@ pub fn silent_scenario(n: usize, t: usize, k: usize) -> (Params, FailurePattern,
     (params, pattern, vec![Value::One; n])
 }
 
-/// Runs `P_min` on a scenario; returns the max nonfaulty decision round.
-pub fn run_pmin(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
-    let trace = eba_sim::runner::run(
-        &MinExchange::new(params),
-        &PMin::new(params),
-        pattern,
-        inits,
-        &SimOptions::default(),
-    )
-    .expect("run");
+/// Runs a context on a scenario; returns the max nonfaulty decision round.
+pub fn run_context<E, P>(
+    ctx: &eba_core::context::Context<E, P>,
+    pattern: &FailurePattern,
+    inits: &[Value],
+) -> u32
+where
+    E: eba_core::exchange::InformationExchange,
+    P: eba_core::protocols::ActionProtocol<E>,
+{
+    let trace = Scenario::of(ctx)
+        .pattern(pattern.clone())
+        .inits(inits)
+        .run()
+        .expect("run");
     trace
         .metrics
         .max_decision_round(pattern.nonfaulty())
         .expect("all decide")
+}
+
+/// Runs `P_min` on a scenario; returns the max nonfaulty decision round.
+pub fn run_pmin(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
+    run_context(&Context::minimal(params), pattern, inits)
 }
 
 /// Runs `P_basic` on a scenario; returns the max nonfaulty decision round.
 pub fn run_pbasic(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
-    let trace = eba_sim::runner::run(
-        &BasicExchange::new(params),
-        &PBasic::new(params),
-        pattern,
-        inits,
-        &SimOptions::default(),
-    )
-    .expect("run");
-    trace
-        .metrics
-        .max_decision_round(pattern.nonfaulty())
-        .expect("all decide")
+    run_context(&Context::basic(params), pattern, inits)
 }
 
 /// Runs `P_opt` on a scenario; returns the max nonfaulty decision round.
 pub fn run_popt(params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
-    let trace = eba_sim::runner::run(
-        &FipExchange::new(params),
-        &POpt::new(params),
-        pattern,
-        inits,
-        &SimOptions::default(),
-    )
-    .expect("run");
-    trace
-        .metrics
-        .max_decision_round(pattern.nonfaulty())
-        .expect("all decide")
+    run_context(&Context::fip(params), pattern, inits)
+}
+
+/// Runs a registry-selected stack by name on a scenario; returns the max
+/// nonfaulty decision round.
+pub fn run_stack(name: &str, params: Params, pattern: &FailurePattern, inits: &[Value]) -> u32 {
+    struct MaxRound<'a> {
+        pattern: &'a FailurePattern,
+        inits: &'a [Value],
+    }
+    impl StackVisitor for MaxRound<'_> {
+        type Output = u32;
+        fn visit<E, P>(self, ctx: &Context<E, P>) -> u32
+        where
+            E: eba_core::exchange::InformationExchange + Clone + Sync + 'static,
+            E::State: Send + Sync,
+            E::Message: Send + Sync,
+            P: eba_core::protocols::ActionProtocol<E> + Clone + Sync + 'static,
+        {
+            run_context(ctx, self.pattern, self.inits)
+        }
+    }
+    NamedStack::by_name(name, params)
+        .expect("registered stack")
+        .visit(MaxRound { pattern, inits })
 }
 
 #[cfg(test)]
@@ -74,5 +86,22 @@ mod tests {
         assert_eq!(run_pmin(params, &pattern, &inits), 12);
         assert_eq!(run_pbasic(params, &pattern, &inits), 12);
         assert_eq!(run_popt(params, &pattern, &inits), 3);
+    }
+
+    #[test]
+    fn registry_helpers_agree_with_the_typed_ones() {
+        let (params, pattern, inits) = silent_scenario(8, 3, 3);
+        assert_eq!(
+            run_stack("E_min/P_min", params, &pattern, &inits),
+            run_pmin(params, &pattern, &inits)
+        );
+        assert_eq!(
+            run_stack("E_basic/P_basic", params, &pattern, &inits),
+            run_pbasic(params, &pattern, &inits)
+        );
+        assert_eq!(
+            run_stack("E_fip/P_opt", params, &pattern, &inits),
+            run_popt(params, &pattern, &inits)
+        );
     }
 }

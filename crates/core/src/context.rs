@@ -1,0 +1,345 @@
+//! Contexts `γ = (E, F, π)` as first-class values, and a string-keyed
+//! registry of the paper's named protocol stacks.
+//!
+//! The paper's notion of optimality is *relative to a context*: an
+//! information-exchange protocol `E`, the failure environment `SO(t)`
+//! (fixed by [`Params`]), and the interpretation `π` (fixed by the state
+//! components every EBA exchange exposes). [`Context`] bundles the two
+//! free choices — the exchange and the action protocol living on it — so
+//! that simulators, model checkers, experiments, and benches take *one*
+//! value instead of re-threading `(&exchange, &protocol, …)` positionally.
+//!
+//! The four stacks studied by the paper are registered by name
+//! ([`STACK_NAMES`]): `"E_min/P_min"`, `"E_basic/P_basic"`,
+//! `"E_fip/P_opt"`, and `"E_naive/P_naive"`. [`NamedStack::by_name`]
+//! builds any of them at given parameters, and [`NamedStack::visit`]
+//! dispatches a generic computation ([`StackVisitor`]) to the concrete
+//! monomorphized types — this is how the experiments CLI, the benches, and
+//! the transport cluster select stacks from strings.
+
+use crate::exchange::{
+    BasicExchange, FipExchange, InformationExchange, MinExchange, NaiveExchange,
+};
+use crate::failures::FailurePattern;
+use crate::protocols::{ActionProtocol, NaiveZeroBiased, PBasic, PMin, POpt};
+use crate::types::{EbaError, Params, Value};
+
+/// A context `γ`: an information-exchange protocol plus the action
+/// protocol under study, over the `SO(t)` environment fixed by the
+/// exchange's [`Params`].
+///
+/// `Context` is the unit of composition for every downstream API: the
+/// `eba-sim` `Scenario` builder runs and enumerates contexts, the
+/// epistemic model checker builds interpreted systems from them, and the
+/// registry ([`NamedStack`]) names the paper's four stacks.
+///
+/// ```
+/// use eba_core::prelude::*;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(4, 1)?;
+/// let ctx = Context::basic(params);
+/// assert_eq!(ctx.name(), "E_basic/P_basic");
+/// assert_eq!(ctx.params(), params);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Context<E, P> {
+    exchange: E,
+    protocol: P,
+}
+
+impl<E, P> Context<E, P>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    /// Bundles an exchange and an action protocol into a context.
+    pub fn new(exchange: E, protocol: P) -> Self {
+        Context { exchange, protocol }
+    }
+
+    /// The information-exchange protocol `E`.
+    pub fn exchange(&self) -> &E {
+        &self.exchange
+    }
+
+    /// The action protocol `P`.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The instance parameters `(n, t)` of the `SO(t)` environment.
+    pub fn params(&self) -> Params {
+        self.exchange.params()
+    }
+
+    /// The stack name, `"<exchange>/<protocol>"` (e.g. `"E_min/P_min"`).
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.exchange.name(), self.protocol.name())
+    }
+
+    /// Splits the context back into its parts.
+    pub fn into_parts(self) -> (E, P) {
+        (self.exchange, self.protocol)
+    }
+}
+
+impl Context<MinExchange, PMin> {
+    /// The minimal-information stack `E_min/P_min` (Thm 6.5).
+    pub fn minimal(params: Params) -> Self {
+        Context::new(MinExchange::new(params), PMin::new(params))
+    }
+}
+
+impl Context<BasicExchange, PBasic> {
+    /// The basic stack `E_basic/P_basic` (Thm 6.6).
+    pub fn basic(params: Params) -> Self {
+        Context::new(BasicExchange::new(params), PBasic::new(params))
+    }
+}
+
+impl Context<FipExchange, POpt> {
+    /// The full-information stack `E_fip/P_opt` (Prop 7.9 / Cor 7.8).
+    pub fn fip(params: Params) -> Self {
+        Context::new(FipExchange::new(params), POpt::new(params))
+    }
+}
+
+impl Context<NaiveExchange, NaiveZeroBiased> {
+    /// The introduction's 0-biased stack `E_naive/P_naive`, which violates
+    /// Agreement under omission failures.
+    pub fn naive(params: Params) -> Self {
+        Context::new(NaiveExchange::new(params), NaiveZeroBiased::new(params))
+    }
+}
+
+/// The names of the registered stacks, in registry order.
+pub const STACK_NAMES: [&str; 4] = [
+    "E_min/P_min",
+    "E_basic/P_basic",
+    "E_fip/P_opt",
+    "E_naive/P_naive",
+];
+
+/// A generic computation over a context, dispatched by [`NamedStack::visit`].
+///
+/// This is the bridge from string-keyed stack selection back to static
+/// dispatch: implement `visit` once, generically, and `NamedStack` calls
+/// it with the concrete monomorphized exchange/protocol pair. The bounds
+/// cover everything the batch APIs need (threaded enumeration, the
+/// transport cluster, interpreted-system construction).
+pub trait StackVisitor {
+    /// The result of the computation.
+    type Output;
+
+    /// Runs the computation on one concrete stack.
+    fn visit<E, P>(self, ctx: &Context<E, P>) -> Self::Output
+    where
+        E: InformationExchange + Clone + Sync + 'static,
+        E::State: Send + Sync,
+        E::Message: Send + Sync,
+        P: ActionProtocol<E> + Clone + Sync + 'static;
+}
+
+/// One of the registered stacks, built by name via [`NamedStack::by_name`].
+///
+/// The registry is an enum rather than a trait object because
+/// [`InformationExchange`] has associated state/message types; the enum
+/// keeps every downstream use fully monomorphized while still letting
+/// callers select stacks from strings.
+///
+/// ```
+/// use eba_core::prelude::*;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(3, 1)?;
+/// let stack = NamedStack::by_name("E_fip/P_opt", params)?;
+/// assert_eq!(stack.name(), "E_fip/P_opt");
+/// assert!(NamedStack::by_name("E_min/P_basic", params).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub enum NamedStack {
+    /// `E_min/P_min`.
+    Min(Context<MinExchange, PMin>),
+    /// `E_basic/P_basic`.
+    Basic(Context<BasicExchange, PBasic>),
+    /// `E_fip/P_opt`.
+    Fip(Context<FipExchange, POpt>),
+    /// `E_naive/P_naive`.
+    Naive(Context<NaiveExchange, NaiveZeroBiased>),
+}
+
+impl NamedStack {
+    /// Builds the stack registered under `name` at the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] naming the registered stacks if
+    /// `name` is not one of [`STACK_NAMES`].
+    pub fn by_name(name: &str, params: Params) -> Result<NamedStack, EbaError> {
+        match name {
+            "E_min/P_min" => Ok(NamedStack::Min(Context::minimal(params))),
+            "E_basic/P_basic" => Ok(NamedStack::Basic(Context::basic(params))),
+            "E_fip/P_opt" => Ok(NamedStack::Fip(Context::fip(params))),
+            "E_naive/P_naive" => Ok(NamedStack::Naive(Context::naive(params))),
+            other => Err(EbaError::InvalidInput(format!(
+                "unknown stack {other:?}; registered stacks: {}",
+                STACK_NAMES.join(", ")
+            ))),
+        }
+    }
+
+    /// The registered name of this stack.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NamedStack::Min(_) => STACK_NAMES[0],
+            NamedStack::Basic(_) => STACK_NAMES[1],
+            NamedStack::Fip(_) => STACK_NAMES[2],
+            NamedStack::Naive(_) => STACK_NAMES[3],
+        }
+    }
+
+    /// The instance parameters.
+    pub fn params(&self) -> Params {
+        match self {
+            NamedStack::Min(c) => c.params(),
+            NamedStack::Basic(c) => c.params(),
+            NamedStack::Fip(c) => c.params(),
+            NamedStack::Naive(c) => c.params(),
+        }
+    }
+
+    /// Dispatches `visitor` to the concrete context.
+    pub fn visit<V: StackVisitor>(&self, visitor: V) -> V::Output {
+        match self {
+            NamedStack::Min(c) => visitor.visit(c),
+            NamedStack::Basic(c) => visitor.visit(c),
+            NamedStack::Fip(c) => visitor.visit(c),
+            NamedStack::Naive(c) => visitor.visit(c),
+        }
+    }
+}
+
+/// Validates the shape of scenario inputs against a context's parameters,
+/// reporting **every** problem at once (not just the first).
+///
+/// Shared by the lockstep runner, the `Scenario` builder, and the
+/// transport cluster so all entry points reject malformed inputs with the
+/// same message: each problem names the offending argument and states the
+/// expected shape.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] listing, `; `-separated, every
+/// argument whose shape disagrees with `params`.
+pub fn validate_scenario_shape(
+    params: Params,
+    pattern: &FailurePattern,
+    inits: &[Value],
+) -> Result<(), EbaError> {
+    let mut problems = Vec::new();
+    if inits.len() != params.n() {
+        problems.push(format!(
+            "inits: got {} initial preferences (expected n = {})",
+            inits.len(),
+            params.n()
+        ));
+    }
+    if pattern.params() != params {
+        problems.push(format!(
+            "pattern: got a pattern built for {} (expected {})",
+            pattern.params(),
+            params
+        ));
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(EbaError::InvalidInput(problems.join("; ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(4, 1).unwrap()
+    }
+
+    #[test]
+    fn contexts_report_their_names() {
+        assert_eq!(Context::minimal(params()).name(), "E_min/P_min");
+        assert_eq!(Context::basic(params()).name(), "E_basic/P_basic");
+        assert_eq!(Context::fip(params()).name(), "E_fip/P_opt");
+        assert_eq!(Context::naive(params()).name(), "E_naive/P_naive");
+    }
+
+    #[test]
+    fn every_registered_name_builds_and_round_trips() {
+        for name in STACK_NAMES {
+            let stack = NamedStack::by_name(name, params()).unwrap();
+            assert_eq!(stack.name(), name);
+            assert_eq!(stack.params(), params());
+        }
+    }
+
+    #[test]
+    fn unknown_stack_names_every_registered_one() {
+        let err = NamedStack::by_name("E_min/P_opt", params()).unwrap_err();
+        let msg = err.to_string();
+        for name in STACK_NAMES {
+            assert!(msg.contains(name), "{msg}");
+        }
+    }
+
+    #[test]
+    fn visitor_reaches_the_concrete_context() {
+        struct NameOf;
+        impl StackVisitor for NameOf {
+            type Output = String;
+            fn visit<E, P>(self, ctx: &Context<E, P>) -> String
+            where
+                E: InformationExchange + Clone + Sync + 'static,
+                E::State: Send + Sync,
+                E::Message: Send + Sync,
+                P: ActionProtocol<E> + Clone + Sync + 'static,
+            {
+                ctx.name()
+            }
+        }
+        for name in STACK_NAMES {
+            let stack = NamedStack::by_name(name, params()).unwrap();
+            assert_eq!(stack.visit(NameOf), name);
+        }
+    }
+
+    #[test]
+    fn shape_validation_reports_all_problems() {
+        let pattern = FailurePattern::failure_free(Params::new(5, 1).unwrap());
+        let err = validate_scenario_shape(params(), &pattern, &[Value::One; 3]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("inits: got 3"), "{msg}");
+        assert!(msg.contains("expected n = 4"), "{msg}");
+        assert!(msg.contains("pattern: got a pattern built for"), "{msg}");
+        assert!(msg.contains("(n = 5, t = 1)"), "{msg}");
+    }
+
+    #[test]
+    fn shape_validation_accepts_matching_inputs() {
+        let pattern = FailurePattern::failure_free(params());
+        assert!(validate_scenario_shape(params(), &pattern, &[Value::One; 4]).is_ok());
+    }
+
+    #[test]
+    fn into_parts_returns_the_bundle() {
+        let ctx = Context::minimal(params());
+        let (ex, proto) = ctx.into_parts();
+        assert_eq!(ex.name(), "E_min");
+        assert_eq!(ActionProtocol::<MinExchange>::name(&proto), "P_min");
+    }
+}

@@ -93,6 +93,93 @@ pub trait InformationExchange {
     fn message_bits(&self, msg: &Self::Message) -> u64;
 }
 
+/// Observes the message traffic of one [`step_round`]: the hooks are
+/// called for every non-`⊥` message selected by `μ` (`on_send`) and for
+/// every message that survives the delivery filter (`on_deliver`).
+///
+/// This is how the lockstep runner hangs its metrics accounting and
+/// delivery recording off the shared round-step routine without the
+/// routine knowing about traces.
+pub trait RoundObserver<E: InformationExchange> {
+    /// A non-`⊥` message was selected for sending.
+    fn on_send(&mut self, _from: AgentId, _to: AgentId, _msg: &E::Message) {}
+
+    /// A message passed the delivery filter and will reach `_to`.
+    fn on_deliver(&mut self, _from: AgentId, _to: AgentId, _msg: &E::Message) {}
+}
+
+/// The do-nothing [`RoundObserver`], for callers that only need the
+/// successor states.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoObserver;
+
+impl<E: InformationExchange> RoundObserver<E> for NoObserver {}
+
+/// Applies one synchronous round of the global transition of Section 3:
+/// every agent performs `actions[i]`, messages are selected by `μ_i`,
+/// filtered by `delivers`, and all states are updated by `δ_i`.
+///
+/// This is the **single** round-step routine shared by the lockstep
+/// runner (`eba-sim`) and the in-crate exchange tests; both drive the same
+/// code path, so they cannot drift apart.
+///
+/// Send events fire sender-major (`on_send(i, j, …)` for each recipient
+/// `j` of each sender `i`); delivery events fire receiver-major
+/// (`on_deliver(i, j, …)` for each sender `i` into each receiver `j`).
+pub fn step_round_observed<E: InformationExchange>(
+    ex: &E,
+    states: &[E::State],
+    actions: &[Action],
+    delivers: impl Fn(AgentId, AgentId) -> bool,
+    observer: &mut impl RoundObserver<E>,
+) -> Vec<E::State> {
+    let n = ex.params().n();
+    debug_assert_eq!(states.len(), n, "one state per agent");
+    debug_assert_eq!(actions.len(), n, "one action per agent");
+    let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
+        .map(|i| {
+            let out = ex.outgoing(AgentId::new(i), &states[i], actions[i]);
+            debug_assert_eq!(out.len(), n, "μ must address every agent");
+            out
+        })
+        .collect();
+    for (i, row) in outgoing.iter().enumerate() {
+        for (j, msg) in row.iter().enumerate() {
+            if let Some(msg) = msg {
+                observer.on_send(AgentId::new(i), AgentId::new(j), msg);
+            }
+        }
+    }
+    (0..n)
+        .map(|j| {
+            let to = AgentId::new(j);
+            let received: Vec<Option<E::Message>> = (0..n)
+                .map(|i| {
+                    let from = AgentId::new(i);
+                    match &outgoing[i][j] {
+                        Some(msg) if delivers(from, to) => {
+                            observer.on_deliver(from, to, msg);
+                            Some(msg.clone())
+                        }
+                        _ => None,
+                    }
+                })
+                .collect();
+            ex.update(to, &states[j], actions[j], &received)
+        })
+        .collect()
+}
+
+/// [`step_round_observed`] without observation: just the successor states.
+pub fn step_round<E: InformationExchange>(
+    ex: &E,
+    states: &[E::State],
+    actions: &[Action],
+    delivers: impl Fn(AgentId, AgentId) -> bool,
+) -> Vec<E::State> {
+    step_round_observed(ex, states, actions, delivers, &mut NoObserver)
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     //! Shared micro-harness: drives a single exchange round without the
@@ -100,33 +187,14 @@ pub(crate) mod test_support {
 
     use super::*;
 
-    /// Applies one synchronous round: every agent performs `actions[i]`,
-    /// messages are filtered by `delivers`, and all states are updated.
+    /// Applies one synchronous round via the shared [`step_round`]
+    /// routine — the same code path the lockstep runner uses.
     pub fn step<E: InformationExchange>(
         ex: &E,
         states: &[E::State],
         actions: &[Action],
         delivers: impl Fn(AgentId, AgentId) -> bool,
     ) -> Vec<E::State> {
-        let n = ex.params().n();
-        let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
-            .map(|i| ex.outgoing(AgentId::new(i), &states[i], actions[i]))
-            .collect();
-        (0..n)
-            .map(|j| {
-                let to = AgentId::new(j);
-                let received: Vec<Option<E::Message>> = (0..n)
-                    .map(|i| {
-                        let from = AgentId::new(i);
-                        if delivers(from, to) {
-                            outgoing[i][j].clone()
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                ex.update(to, &states[j], actions[j], &received)
-            })
-            .collect()
+        step_round(ex, states, actions, delivers)
     }
 }

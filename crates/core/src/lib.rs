@@ -11,6 +11,9 @@
 //!
 //! * the shared vocabulary ([`types`]): agents, binary values, actions,
 //!   agent sets, and the `(n, t)` parameters of the `SO(t)` failure model;
+//! * first-class contexts ([`context`]): [`context::Context`] bundles an
+//!   exchange with an action protocol, and the string-keyed registry
+//!   ([`context::NamedStack`]) builds the paper's four stacks by name;
 //! * the failure model ([`failures`]): failure patterns `(N, F)` for
 //!   sending-omission failures, crash patterns as a special case, and
 //!   adversary samplers;
@@ -47,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod context;
 pub mod exchange;
 pub mod failures;
 pub mod graph;
@@ -56,6 +60,9 @@ pub mod types;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::context::{
+        validate_scenario_shape, Context, NamedStack, StackVisitor, STACK_NAMES,
+    };
     pub use crate::exchange::{
         BasicExchange, BasicMsg, BasicState, FipExchange, FipMsg, FipState, InformationExchange,
         MinExchange, MinMsg, MinState, NaiveExchange, NaiveMsg, NaiveState,

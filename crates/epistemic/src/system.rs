@@ -4,10 +4,13 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+use eba_core::context::Context;
 use eba_core::exchange::InformationExchange;
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{Action, AgentId, BitSet, EbaError, Params, Value};
 use eba_sim::enumerate::{enumerate_runs, EnumRun};
+use eba_sim::runner::Parallelism;
+use eba_sim::scenario::Scenario;
 
 /// Identifier of a point `(r, m)`: `r * (horizon + 1) + m`.
 pub type PointId = u32;
@@ -64,14 +67,57 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         proto: &P,
         horizon: u32,
         limit: usize,
-        parallelism: eba_sim::runner::Parallelism,
+        parallelism: Parallelism,
     ) -> Result<Self, EbaError>
     where
         E: Sync,
         E::State: Send,
         P: ActionProtocol<E> + Sync,
     {
-        let runs = eba_sim::enumerate::enumerate_parallel(&ex, proto, horizon, limit, parallelism)?;
+        // `&P` is itself an action protocol, so the borrowed pair forms a
+        // context the `Scenario` machinery can drive.
+        Self::from_context(Context::new(ex, proto), horizon, limit, parallelism)
+    }
+
+    /// Builds the system for a first-class [`Context`] — the registry- and
+    /// `Scenario`-friendly entry point: the context supplies both halves
+    /// of the stack, and the enumeration runs through
+    /// [`Scenario::enumerate`] with the given `parallelism`.
+    ///
+    /// ```
+    /// use eba_core::prelude::*;
+    /// use eba_epistemic::prelude::*;
+    /// use eba_sim::prelude::*;
+    ///
+    /// # fn main() -> Result<(), EbaError> {
+    /// let ctx = Context::minimal(Params::new(3, 1)?);
+    /// let sys = InterpretedSystem::from_context(ctx, 4, 1_000_000, Parallelism::Auto)?;
+    /// assert!(sys.runs().len() > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures (instance too large; see
+    /// [`enumerate_runs`]).
+    pub fn from_context<P>(
+        ctx: Context<E, P>,
+        horizon: u32,
+        limit: usize,
+        parallelism: Parallelism,
+    ) -> Result<Self, EbaError>
+    where
+        E: Sync,
+        E::State: Send,
+        P: ActionProtocol<E> + Sync,
+    {
+        let runs = Scenario::of(&ctx)
+            .horizon(horizon)
+            .limit(limit)
+            .parallelism(parallelism)
+            .enumerate()?;
+        let (ex, _proto) = ctx.into_parts();
         Ok(Self::from_runs(ex, runs, horizon))
     }
 
@@ -261,6 +307,28 @@ mod tests {
         let ex = MinExchange::new(params);
         let proto = PMin::new(params);
         InterpretedSystem::build(ex, &proto, 4, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn from_context_matches_build() {
+        let params = Params::new(3, 1).unwrap();
+        let proto = PMin::new(params);
+        let legacy =
+            InterpretedSystem::build(MinExchange::new(params), &proto, 4, 1_000_000).unwrap();
+        for parallelism in [Parallelism::Sequential, Parallelism::Fixed(4)] {
+            let via_ctx = InterpretedSystem::from_context(
+                Context::minimal(params),
+                4,
+                1_000_000,
+                parallelism,
+            )
+            .unwrap();
+            assert_eq!(via_ctx.runs().len(), legacy.runs().len());
+            for (a, b) in via_ctx.runs().iter().zip(legacy.runs()) {
+                assert_eq!(a.nonfaulty, b.nonfaulty);
+                assert_eq!(a.states, b.states);
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use eba_core::prelude::*;
 use eba_sim::prelude::*;
-use eba_transport::{run_cluster, FipCodec};
+use eba_transport::{run_context_cluster, FipCodec};
 
 use crate::table::{cell, Table};
 
@@ -52,25 +52,29 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E1Row>, Table) {
         let params = Params::new(n, t).expect("valid config");
         for (scenario, pattern) in scenarios(params) {
             let inits = vec![Value::One; n];
-            let opts = SimOptions::default();
 
-            let min_ex = MinExchange::new(params);
-            let min_trace =
-                eba_sim::runner::run(&min_ex, &PMin::new(params), &pattern, &inits, &opts)
-                    .expect("run");
+            let min_ctx = Context::minimal(params);
+            let min_trace = Scenario::of(&min_ctx)
+                .pattern(pattern.clone())
+                .inits(&inits)
+                .run()
+                .expect("run");
 
-            let basic_ex = BasicExchange::new(params);
-            let basic_trace =
-                eba_sim::runner::run(&basic_ex, &PBasic::new(params), &pattern, &inits, &opts)
-                    .expect("run");
+            let basic_ctx = Context::basic(params);
+            let basic_trace = Scenario::of(&basic_ctx)
+                .pattern(pattern.clone())
+                .inits(&inits)
+                .run()
+                .expect("run");
 
-            let fip_ex = FipExchange::new(params);
-            let fip_trace =
-                eba_sim::runner::run(&fip_ex, &POpt::new(params), &pattern, &inits, &opts)
-                    .expect("run");
-            let fip_report = run_cluster(
-                &fip_ex,
-                &POpt::new(params),
+            let fip_ctx = Context::fip(params);
+            let fip_trace = Scenario::of(&fip_ctx)
+                .pattern(pattern.clone())
+                .inits(&inits)
+                .run()
+                .expect("run");
+            let fip_report = run_context_cluster(
+                &fip_ctx,
                 &FipCodec,
                 &pattern,
                 &inits,

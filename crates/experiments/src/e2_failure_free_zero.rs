@@ -33,8 +33,9 @@ pub fn run(ns: &[usize]) -> (Vec<E2Row>, Table) {
     for &n in ns {
         let t = (n - 1) / 2;
         let params = Params::new(n, t).expect("valid config");
-        let pattern = FailurePattern::failure_free(params);
-        let opts = SimOptions::default();
+        let min_ctx = Context::minimal(params);
+        let basic_ctx = Context::basic(params);
+        let fip_ctx = Context::fip(params);
 
         let mut results: Vec<(&'static str, u32, u32, bool)> = vec![
             ("P_min", 0, 0, true),
@@ -53,36 +54,15 @@ pub fn run(ns: &[usize]) -> (Vec<E2Row>, Table) {
                 .collect();
             let outcomes = [
                 summarize(
-                    &eba_sim::runner::run(
-                        &MinExchange::new(params),
-                        &PMin::new(params),
-                        &pattern,
-                        &inits,
-                        &opts,
-                    )
-                    .expect("run"),
+                    &Scenario::of(&min_ctx).inits(&inits).run().expect("run"),
                     zero_at,
                 ),
                 summarize(
-                    &eba_sim::runner::run(
-                        &BasicExchange::new(params),
-                        &PBasic::new(params),
-                        &pattern,
-                        &inits,
-                        &opts,
-                    )
-                    .expect("run"),
+                    &Scenario::of(&basic_ctx).inits(&inits).run().expect("run"),
                     zero_at,
                 ),
                 summarize(
-                    &eba_sim::runner::run(
-                        &FipExchange::new(params),
-                        &POpt::new(params),
-                        &pattern,
-                        &inits,
-                        &opts,
-                    )
-                    .expect("run"),
+                    &Scenario::of(&fip_ctx).inits(&inits).run().expect("run"),
                     zero_at,
                 ),
             ];

@@ -30,40 +30,15 @@ pub fn run(n: usize, ts: &[usize]) -> (Vec<E3Row>, Table) {
     let mut rows = Vec::new();
     for &t in ts {
         let params = Params::new(n, t).expect("valid config");
-        let pattern = FailurePattern::failure_free(params);
         let inits = vec![Value::One; n];
-        let opts = SimOptions::default();
 
-        let pmin_round = common_round(
-            &eba_sim::runner::run(
-                &MinExchange::new(params),
-                &PMin::new(params),
-                &pattern,
-                &inits,
-                &opts,
-            )
-            .expect("run"),
-        );
-        let pbasic_round = common_round(
-            &eba_sim::runner::run(
-                &BasicExchange::new(params),
-                &PBasic::new(params),
-                &pattern,
-                &inits,
-                &opts,
-            )
-            .expect("run"),
-        );
-        let popt_round = common_round(
-            &eba_sim::runner::run(
-                &FipExchange::new(params),
-                &POpt::new(params),
-                &pattern,
-                &inits,
-                &opts,
-            )
-            .expect("run"),
-        );
+        let min_ctx = Context::minimal(params);
+        let basic_ctx = Context::basic(params);
+        let fip_ctx = Context::fip(params);
+        let pmin_round = common_round(&Scenario::of(&min_ctx).inits(&inits).run().expect("run"));
+        let pbasic_round =
+            common_round(&Scenario::of(&basic_ctx).inits(&inits).run().expect("run"));
+        let popt_round = common_round(&Scenario::of(&fip_ctx).inits(&inits).run().expect("run"));
         rows.push(E3Row {
             n,
             t,

@@ -44,7 +44,15 @@ pub struct E4Row {
 pub fn run(n: usize, t: usize, ks: &[usize]) -> (Vec<E4Row>, Table) {
     let params = Params::new(n, t).expect("valid config");
     let inits = vec![Value::One; n];
-    let opts = SimOptions::default();
+    let min_ctx = Context::minimal(params);
+    let basic_ctx = Context::basic(params);
+    let fip_ctx = Context::fip(params);
+    // The ablation is not a registered stack, but any exchange/protocol
+    // pair forms a context.
+    let no_ck_ctx = Context::new(
+        FipExchange::new(params),
+        POpt::without_common_knowledge(params),
+    );
     let mut rows = Vec::new();
     for &k in ks {
         assert!(k <= t, "cannot silence more than t agents");
@@ -54,38 +62,26 @@ pub fn run(n: usize, t: usize, ks: &[usize]) -> (Vec<E4Row>, Table) {
 
         let max_nf = |m: &Metrics| m.max_decision_round(nonfaulty).expect("all decide");
 
-        let pmin = eba_sim::runner::run(
-            &MinExchange::new(params),
-            &PMin::new(params),
-            &pattern,
-            &inits,
-            &opts,
-        )
-        .expect("run");
-        let pbasic = eba_sim::runner::run(
-            &BasicExchange::new(params),
-            &PBasic::new(params),
-            &pattern,
-            &inits,
-            &opts,
-        )
-        .expect("run");
-        let popt = eba_sim::runner::run(
-            &FipExchange::new(params),
-            &POpt::new(params),
-            &pattern,
-            &inits,
-            &opts,
-        )
-        .expect("run");
-        let popt_no_ck = eba_sim::runner::run(
-            &FipExchange::new(params),
-            &POpt::without_common_knowledge(params),
-            &pattern,
-            &inits,
-            &opts,
-        )
-        .expect("run");
+        let pmin = Scenario::of(&min_ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .expect("run");
+        let pbasic = Scenario::of(&basic_ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .expect("run");
+        let popt = Scenario::of(&fip_ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .expect("run");
+        let popt_no_ck = Scenario::of(&no_ck_ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .expect("run");
 
         rows.push(E4Row {
             n,

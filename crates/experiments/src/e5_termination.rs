@@ -50,9 +50,7 @@ pub fn run(
         let params = Params::new(n, t).expect("valid config");
         rows.push(campaign(
             "P_min",
-            &MinExchange::new(params),
-            &PMin::new(params),
-            params,
+            &Context::minimal(params),
             trials,
             drop_prob,
             seed,
@@ -60,9 +58,7 @@ pub fn run(
         ));
         rows.push(campaign(
             "P_basic",
-            &BasicExchange::new(params),
-            &PBasic::new(params),
-            params,
+            &Context::basic(params),
             trials,
             drop_prob,
             seed,
@@ -70,9 +66,7 @@ pub fn run(
         ));
         rows.push(campaign(
             "P_opt",
-            &FipExchange::new(params),
-            &POpt::new(params),
-            params,
+            &Context::fip(params),
             trials,
             drop_prob,
             seed,
@@ -116,12 +110,9 @@ pub fn run(
     (rows, table)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn campaign<E, P>(
     protocol: &'static str,
-    ex: &E,
-    proto: &P,
-    params: Params,
+    ctx: &Context<E, P>,
     trials: u32,
     drop_prob: f64,
     seed: u64,
@@ -131,6 +122,7 @@ where
     E: InformationExchange,
     P: ActionProtocol<E>,
 {
+    let params = ctx.params();
     let n = params.n();
     let sampler = OmissionSampler::new(params, params.default_horizon(), drop_prob);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -145,9 +137,12 @@ where
         let inits: Vec<Value> = (0..n)
             .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
             .collect();
-        let trace =
-            eba_sim::runner::run(ex, proto, &pattern, &inits, &SimOptions::default()).expect("run");
-        if check_eba(ex, &trace).is_err() || check_validity_all(&trace).is_err() {
+        let trace = Scenario::of(ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .expect("run");
+        if check_eba(ctx.exchange(), &trace).is_err() || check_validity_all(&trace).is_err() {
             eba_violations += 1;
         }
         if check_decides_by(&trace, params.decide_by_round()).is_err() {

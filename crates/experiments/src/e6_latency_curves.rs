@@ -34,6 +34,9 @@ pub fn run(n: usize, t: usize, probs: &[f64], trials: u32, seed: u64) -> (Vec<E6
     let params = Params::new(n, t).expect("valid config");
     let inits = vec![Value::One; n];
     let faulty: AgentSet = (0..t).map(AgentId::new).collect();
+    let min_ctx = Context::minimal(params);
+    let basic_ctx = Context::basic(params);
+    let fip_ctx = Context::fip(params);
     let mut rows = Vec::new();
     for &p in probs {
         let sampler = OmissionSampler::new(params, params.default_horizon(), p);
@@ -43,39 +46,30 @@ pub fn run(n: usize, t: usize, probs: &[f64], trials: u32, seed: u64) -> (Vec<E6
             let pattern = sampler.sample_with_faulty(faulty, &mut rng);
             let nonfaulty = pattern.nonfaulty();
             let traces = [
-                eba_sim::runner::run(
-                    &MinExchange::new(params),
-                    &PMin::new(params),
-                    &pattern,
-                    &inits,
-                    &SimOptions::default(),
-                )
-                .expect("run")
-                .metrics
-                .mean_decision_round(nonfaulty)
-                .expect("all nonfaulty decide"),
-                eba_sim::runner::run(
-                    &BasicExchange::new(params),
-                    &PBasic::new(params),
-                    &pattern,
-                    &inits,
-                    &SimOptions::default(),
-                )
-                .expect("run")
-                .metrics
-                .mean_decision_round(nonfaulty)
-                .expect("all nonfaulty decide"),
-                eba_sim::runner::run(
-                    &FipExchange::new(params),
-                    &POpt::new(params),
-                    &pattern,
-                    &inits,
-                    &SimOptions::default(),
-                )
-                .expect("run")
-                .metrics
-                .mean_decision_round(nonfaulty)
-                .expect("all nonfaulty decide"),
+                mean_of(
+                    Scenario::of(&min_ctx)
+                        .pattern(pattern.clone())
+                        .inits(&inits)
+                        .run()
+                        .expect("run"),
+                    nonfaulty,
+                ),
+                mean_of(
+                    Scenario::of(&basic_ctx)
+                        .pattern(pattern.clone())
+                        .inits(&inits)
+                        .run()
+                        .expect("run"),
+                    nonfaulty,
+                ),
+                mean_of(
+                    Scenario::of(&fip_ctx)
+                        .pattern(pattern.clone())
+                        .inits(&inits)
+                        .run()
+                        .expect("run"),
+                    nonfaulty,
+                ),
             ];
             for (m, v) in means.iter_mut().zip(traces) {
                 *m += v;
@@ -107,6 +101,17 @@ pub fn run(n: usize, t: usize, probs: &[f64], trials: u32, seed: u64) -> (Vec<E6
         ]);
     }
     (rows, table)
+}
+
+/// Mean nonfaulty decision round of one trace.
+fn mean_of<E: eba_core::exchange::InformationExchange>(
+    trace: Trace<E>,
+    nonfaulty: AgentSet,
+) -> f64 {
+    trace
+        .metrics
+        .mean_decision_round(nonfaulty)
+        .expect("all nonfaulty decide")
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 use eba_core::kbp::KnowledgeBasedProgram;
 use eba_core::prelude::*;
 use eba_epistemic::prelude::*;
+use eba_sim::runner::Parallelism;
 
 use crate::table::{cell, Table};
 
@@ -60,10 +61,15 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
 
     let min_check = |n: usize, t: usize, program: KnowledgeBasedProgram| {
         let params = Params::new(n, t).expect("valid");
-        let ex = MinExchange::new(params);
-        let proto = PMin::new(params);
-        let sys = InterpretedSystem::build(ex, &proto, params.default_horizon(), 10_000_000)
-            .expect("enumerable");
+        let ctx = Context::minimal(params);
+        let proto = *ctx.protocol();
+        let sys = InterpretedSystem::from_context(
+            ctx,
+            params.default_horizon(),
+            10_000_000,
+            Parallelism::Sequential,
+        )
+        .expect("enumerable");
         let report = check_implements(&sys, &proto, program);
         E7Row {
             context: format!("γ_min({n},{t})"),
@@ -76,10 +82,15 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
     };
     let basic_check = |n: usize, t: usize, program: KnowledgeBasedProgram| {
         let params = Params::new(n, t).expect("valid");
-        let ex = BasicExchange::new(params);
-        let proto = PBasic::new(params);
-        let sys = InterpretedSystem::build(ex, &proto, params.default_horizon(), 10_000_000)
-            .expect("enumerable");
+        let ctx = Context::basic(params);
+        let proto = *ctx.protocol();
+        let sys = InterpretedSystem::from_context(
+            ctx,
+            params.default_horizon(),
+            10_000_000,
+            Parallelism::Sequential,
+        )
+        .expect("enumerable");
         let report = check_implements(&sys, &proto, program);
         E7Row {
             context: format!("γ_basic({n},{t})"),
@@ -101,10 +112,15 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
     rows.push(basic_check(3, 1, KnowledgeBasedProgram::P1));
     if config.include_fip {
         let params = Params::new(3, 1).expect("valid");
-        let ex = FipExchange::new(params);
-        let proto = POpt::new(params);
-        let sys = InterpretedSystem::build(ex, &proto, params.default_horizon(), 10_000_000)
-            .expect("enumerable");
+        let ctx = Context::fip(params);
+        let proto = *ctx.protocol();
+        let sys = InterpretedSystem::from_context(
+            ctx,
+            params.default_horizon(),
+            10_000_000,
+            Parallelism::Sequential,
+        )
+        .expect("enumerable");
         for program in [KnowledgeBasedProgram::P1, KnowledgeBasedProgram::P0] {
             let report = check_implements(&sys, &proto, program);
             rows.push(E7Row {

@@ -55,32 +55,40 @@ fn r_prime_pattern(params: Params) -> FailurePattern {
 /// Runs the counterexample and the control campaigns.
 pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
     let params = Params::new(3, 1).expect("valid");
-    let opts = SimOptions::default();
+    let naive_ctx = Context::naive(params);
+    let min_ctx = Context::minimal(params);
+    let basic_ctx = Context::basic(params);
     let mut rows = Vec::new();
 
     // Run r: naive protocol, all ones, silent faulty agent — correct.
     {
-        let ex = NaiveExchange::new(params);
-        let proto = NaiveZeroBiased::new(params);
         let pattern = silent_pattern(params, AgentSet::singleton(AgentId::new(0)), 5).unwrap();
-        let trace = eba_sim::runner::run(&ex, &proto, &pattern, &[Value::One; 3], &opts).unwrap();
+        let trace = Scenario::of(&naive_ctx)
+            .pattern(pattern)
+            .inits(&[Value::One; 3])
+            .run()
+            .unwrap();
         rows.push(E8Row {
             scenario: "r (all-1, a0 silent)",
             protocol: "P_naive",
             trials: 1,
-            violations: check_eba(&ex, &trace).is_err() as u32,
+            violations: check_eba(naive_ctx.exchange(), &trace).is_err() as u32,
             expected: "no violation; nonfaulty decide 1 in round 3",
         });
     }
 
     // Run r': naive protocol violates Agreement.
     {
-        let ex = NaiveExchange::new(params);
-        let proto = NaiveZeroBiased::new(params);
-        let pattern = r_prime_pattern(params);
         let inits = [Value::Zero, Value::One, Value::One];
-        let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &opts).unwrap();
-        let violated = matches!(check_eba(&ex, &trace), Err(SpecViolation::Agreement { .. }));
+        let trace = Scenario::of(&naive_ctx)
+            .pattern(r_prime_pattern(params))
+            .inits(&inits)
+            .run()
+            .unwrap();
+        let violated = matches!(
+            check_eba(naive_ctx.exchange(), &trace),
+            Err(SpecViolation::Agreement { .. })
+        );
         rows.push(E8Row {
             scenario: "r' (a0 reveals 0 late)",
             protocol: "P_naive",
@@ -92,33 +100,35 @@ pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
 
     // Control: the chain-rule protocols survive the identical adversary.
     {
-        let pattern = r_prime_pattern(params);
         let inits = [Value::Zero, Value::One, Value::One];
-        let ex = MinExchange::new(params);
-        let trace = eba_sim::runner::run(&ex, &PMin::new(params), &pattern, &inits, &opts).unwrap();
+        let trace = Scenario::of(&min_ctx)
+            .pattern(r_prime_pattern(params))
+            .inits(&inits)
+            .run()
+            .unwrap();
         rows.push(E8Row {
             scenario: "r' (same adversary)",
             protocol: "P_min",
             trials: 1,
-            violations: check_eba(&ex, &trace).is_err() as u32,
+            violations: check_eba(min_ctx.exchange(), &trace).is_err() as u32,
             expected: "no violation (0-chain rule)",
         });
-        let exb = BasicExchange::new(params);
-        let trace =
-            eba_sim::runner::run(&exb, &PBasic::new(params), &pattern, &inits, &opts).unwrap();
+        let trace = Scenario::of(&basic_ctx)
+            .pattern(r_prime_pattern(params))
+            .inits(&inits)
+            .run()
+            .unwrap();
         rows.push(E8Row {
             scenario: "r' (same adversary)",
             protocol: "P_basic",
             trials: 1,
-            violations: check_eba(&exb, &trace).is_err() as u32,
+            violations: check_eba(basic_ctx.exchange(), &trace).is_err() as u32,
             expected: "no violation (0-chain rule)",
         });
     }
 
     // Crash campaign: the naive protocol is correct under crash failures.
     {
-        let ex = NaiveExchange::new(params);
-        let proto = NaiveZeroBiased::new(params);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut violations = 0;
         for _ in 0..crash_trials {
@@ -129,8 +139,12 @@ pub fn run(crash_trials: u32, seed: u64) -> (Vec<E8Row>, Table) {
             let inits: Vec<Value> = (0..3)
                 .map(|i| Value::from_bit(((bits >> i) & 1) as u8))
                 .collect();
-            let trace = eba_sim::runner::run(&ex, &proto, &pattern, &inits, &opts).unwrap();
-            if check_eba(&ex, &trace).is_err() {
+            let trace = Scenario::of(&naive_ctx)
+                .pattern(pattern)
+                .inits(&inits)
+                .run()
+                .unwrap();
+            if check_eba(naive_ctx.exchange(), &trace).is_err() {
                 violations += 1;
             }
         }

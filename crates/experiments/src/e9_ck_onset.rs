@@ -41,9 +41,11 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
         let inits = vec![Value::One; n];
         let observer = AgentId::new(t); // first nonfaulty agent
 
-        let fip_ex = FipExchange::new(params);
-        let popt = POpt::new(params);
-        let trace = eba_sim::runner::run(&fip_ex, &popt, &pattern, &inits, &SimOptions::default())
+        let fip_ctx = Context::fip(params);
+        let trace = Scenario::of(&fip_ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
             .expect("run");
 
         let mut faults_known_time = u32::MAX;
@@ -59,14 +61,12 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
             }
         }
 
-        let pmin_trace = eba_sim::runner::run(
-            &MinExchange::new(params),
-            &PMin::new(params),
-            &pattern,
-            &inits,
-            &SimOptions::default(),
-        )
-        .expect("run");
+        let min_ctx = Context::minimal(params);
+        let pmin_trace = Scenario::of(&min_ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .expect("run");
 
         rows.push(E9Row {
             n,

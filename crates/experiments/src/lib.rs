@@ -18,6 +18,11 @@
 //! Each module exposes a typed `run(…)` entry point returning both the raw
 //! records and a renderable [`table::Table`]; the `eba-experiments` binary
 //! prints all of them as markdown (the content of `EXPERIMENTS.md`).
+//!
+//! The binary can also run a single registry-selected stack
+//! (`-- --stack E_basic/P_basic`, see [`stack_summary`]), exercising the
+//! string-keyed stack registry end to end: lockstep runs, the threaded
+//! transport, and a streamed exhaustive spec check.
 
 pub mod e1_bits;
 pub mod e2_failure_free_zero;
@@ -28,6 +33,7 @@ pub mod e6_latency_curves;
 pub mod e7_implements;
 pub mod e8_bias_counterexample;
 pub mod e9_ck_onset;
+pub mod stack_summary;
 pub mod table;
 
 pub use table::Table;

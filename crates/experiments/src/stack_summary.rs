@@ -1,0 +1,233 @@
+//! Registry-driven single-stack summary, behind the experiments CLI's
+//! `--stack <name>` flag.
+//!
+//! Given a registered stack name (see [`STACK_NAMES`]), this runs one
+//! standard battery — a failure-free run, a silent-faulty run, a threaded
+//! transport execution, and a **streamed** exhaustive spec check over
+//! every run of the context — and renders the results as a table. The
+//! exhaustive check folds each run through a counting [`RunSink`], so
+//! even the ~100k-run `E_fip/P_opt` context is checked without
+//! materializing a `Vec` of trajectories.
+
+use eba_core::prelude::*;
+use eba_sim::prelude::*;
+use eba_transport::run_named_cluster;
+
+use crate::table::{cell, Table};
+
+/// Everything the battery measured for one stack.
+#[derive(Clone, Debug)]
+pub struct StackSummary {
+    /// The registered stack name.
+    pub stack: String,
+    /// Number of agents.
+    pub n: usize,
+    /// Fault tolerance.
+    pub t: usize,
+    /// Max decision round on the failure-free all-ones run.
+    pub failure_free_round: Option<u32>,
+    /// Logical bits sent on that run.
+    pub bits_sent: u64,
+    /// Wire bytes sent by the threaded cluster on the same scenario.
+    pub wire_bytes: u64,
+    /// Max nonfaulty decision round with `t` silent faulty agents
+    /// (`None` when `t = 0` or `n − t < 2`).
+    pub silent_round: Option<u32>,
+    /// Deduplicated runs streamed through the exhaustive spec check, or
+    /// why the enumeration was skipped (instance too large, over-branchy
+    /// round, …).
+    pub enumerated_runs: Result<usize, EbaError>,
+    /// How many of those runs satisfy the EBA spec at the horizon
+    /// (0 whenever `enumerated_runs` is an error — a partial tally from
+    /// an aborted enumeration would be meaningless).
+    pub spec_ok_runs: usize,
+}
+
+/// Per-context half of the battery: everything that doesn't need a wire
+/// codec.
+struct Battery;
+
+struct BatteryOutcome {
+    failure_free_round: Option<u32>,
+    bits_sent: u64,
+    silent_round: Option<u32>,
+    enumerated_runs: Result<usize, EbaError>,
+    spec_ok_runs: usize,
+}
+
+impl StackVisitor for Battery {
+    type Output = BatteryOutcome;
+
+    fn visit<E, P>(self, ctx: &Context<E, P>) -> BatteryOutcome
+    where
+        E: InformationExchange + Clone + Sync + 'static,
+        E::State: Send + Sync,
+        E::Message: Send + Sync,
+        P: ActionProtocol<E> + Clone + Sync + 'static,
+    {
+        let params = ctx.params();
+        let n = params.n();
+        let t = params.t();
+        let inits = vec![Value::One; n];
+
+        let trace = Scenario::of(ctx).inits(&inits).run().expect("run");
+        let failure_free_round = trace.max_decision_round(AgentSet::full(n));
+        let bits_sent = trace.metrics.bits_sent;
+
+        let silent_round = if t >= 1 && n - t >= 2 {
+            let silent: AgentSet = (0..t).map(AgentId::new).collect();
+            let pattern =
+                silent_pattern(params, silent, params.default_horizon()).expect("t faulty");
+            let nonfaulty = pattern.nonfaulty();
+            let trace = Scenario::of(ctx)
+                .pattern(pattern)
+                .inits(&inits)
+                .run()
+                .expect("run");
+            trace.max_decision_round(nonfaulty)
+        } else {
+            None
+        };
+
+        // Streamed exhaustive spec check: count runs and EBA verdicts
+        // without collecting a single trajectory. On error the partial
+        // verdict tally is meaningless, so it is discarded with the count.
+        let mut spec_ok = 0usize;
+        let streamed = Scenario::of(ctx)
+            .parallelism(Parallelism::Auto)
+            .limit(2_000_000)
+            .enumerate_into(&mut |run: EnumRun<E>| {
+                if enum_run_satisfies_eba(ctx.exchange(), &run) {
+                    spec_ok += 1;
+                }
+                Ok(())
+            });
+        BatteryOutcome {
+            failure_free_round,
+            bits_sent,
+            silent_round,
+            spec_ok_runs: if streamed.is_ok() { spec_ok } else { 0 },
+            enumerated_runs: streamed,
+        }
+    }
+}
+
+/// Whether an enumerated run satisfies Agreement, strong Validity, and
+/// Termination-of-nonfaulty at the horizon.
+pub fn enum_run_satisfies_eba<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> bool {
+    let final_states = run.states.last().expect("nonempty trajectory");
+    let decided: Vec<Option<Value>> = final_states.iter().map(|s| ex.decided(s)).collect();
+    let nonfaulty_values: Vec<Value> = run
+        .nonfaulty
+        .iter()
+        .filter_map(|a| decided[a.index()])
+        .collect();
+    let agreement = nonfaulty_values.windows(2).all(|w| w[0] == w[1]);
+    let validity = decided.iter().flatten().all(|v| run.inits.contains(v));
+    let termination = run.nonfaulty.iter().all(|a| decided[a.index()].is_some());
+    agreement && validity && termination
+}
+
+/// Runs the battery for the stack registered under `name` at `(n, t)`.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] for an unknown stack name (listing
+/// the registered ones) or [`EbaError::InvalidParams`] for invalid
+/// `(n, t)`.
+pub fn run(name: &str, n: usize, t: usize) -> Result<(StackSummary, Table), EbaError> {
+    let params = Params::new(n, t)?;
+    let stack = NamedStack::by_name(name, params)?;
+
+    let outcome = stack.visit(Battery);
+    let inits = vec![Value::One; n];
+    let wire = run_named_cluster(
+        &stack,
+        &FailurePattern::failure_free(params),
+        &inits,
+        params.default_horizon(),
+    )?;
+
+    let summary = StackSummary {
+        stack: stack.name().to_string(),
+        n,
+        t,
+        failure_free_round: outcome.failure_free_round,
+        bits_sent: outcome.bits_sent,
+        wire_bytes: wire.wire_bytes_sent,
+        silent_round: outcome.silent_round,
+        enumerated_runs: outcome.enumerated_runs,
+        spec_ok_runs: outcome.spec_ok_runs,
+    };
+
+    let or_dash = |v: Option<u32>| v.map_or_else(|| "—".to_string(), |r| r.to_string());
+    let mut table = Table::new(
+        format!("Stack summary: {} at (n = {n}, t = {t})", summary.stack),
+        "Registry-selected stack battery: failure-free and silent-faulty \
+         runs, wire bytes over the threaded cluster, and a streamed \
+         exhaustive EBA spec check over every run of the context (no run \
+         set is ever materialized).",
+        &["measurement", "value"],
+    );
+    table.push(vec![
+        cell("failure-free all-ones: max decision round"),
+        or_dash(summary.failure_free_round),
+    ]);
+    table.push(vec![
+        cell("failure-free all-ones: logical bits sent"),
+        cell(summary.bits_sent),
+    ]);
+    table.push(vec![
+        cell("failure-free all-ones: wire bytes (threaded cluster)"),
+        cell(summary.wire_bytes),
+    ]);
+    table.push(vec![
+        cell("silent-faulty (k = t): max nonfaulty decision round"),
+        or_dash(summary.silent_round),
+    ]);
+    match &summary.enumerated_runs {
+        Ok(total) => {
+            table.push(vec![cell("exhaustive runs (streamed)"), cell(total)]);
+            table.push(vec![
+                cell("runs satisfying the EBA spec"),
+                format!("{}/{}", summary.spec_ok_runs, total),
+            ]);
+        }
+        Err(e) => table.push(vec![
+            cell("exhaustive runs (streamed)"),
+            format!("skipped: {e}"),
+        ]),
+    }
+    Ok((summary, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_stack_summarizes() {
+        for name in STACK_NAMES {
+            let (summary, table) = run(name, 3, 1).unwrap();
+            assert_eq!(summary.stack, name);
+            assert!(summary.bits_sent > 0, "{name}");
+            assert!(summary.wire_bytes > 0, "{name}");
+            let total = summary.enumerated_runs.expect("small instance");
+            assert!(total > 0, "{name}");
+            if name == "E_naive/P_naive" {
+                // The introduction's protocol violates Agreement under
+                // omissions, so some enumerated runs must fail the spec.
+                assert!(summary.spec_ok_runs < total, "{name}");
+            } else {
+                assert_eq!(summary.spec_ok_runs, total, "{name}");
+            }
+            assert!(table.to_markdown().contains(name));
+        }
+    }
+
+    #[test]
+    fn unknown_stack_is_rejected_with_the_registry() {
+        let err = run("E_bogus/P_bogus", 3, 1).unwrap_err();
+        assert!(err.to_string().contains("E_min/P_min"));
+    }
+}

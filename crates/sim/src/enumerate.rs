@@ -30,19 +30,31 @@
 //! conditions coincide — e.g. the run limit is exceeded *and* a later item
 //! is too branchy — the two entry points are guaranteed to agree that the
 //! enumeration fails, but may report different error messages.)
+//!
+//! # Streaming
+//!
+//! [`enumerate_into`] is the primitive the collecting entry points are
+//! built on: it feeds every run to a [`RunSink`] in the deterministic
+//! enumeration order and never holds the whole run set in memory — peak
+//! residency is one work item (sequential) or the out-of-order reorder
+//! window (parallel), instead of all `O(runs)` trajectories.
+//! [`enumerate_runs`] and [`enumerate_parallel`] are thin wrappers that
+//! stream into a `Vec`.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
+use eba_core::context::Context;
 use eba_core::exchange::InformationExchange;
 use eba_core::failures::nonfaulty_choices;
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{Action, AgentId, AgentSet, EbaError, Value};
 
 pub use crate::runner::{Parallelism, SimOptions};
+pub use crate::sink::RunSink;
 
 /// One enumerated run: the nonfaulty set plus the full trajectory.
 #[derive(Clone, Debug)]
@@ -77,12 +89,222 @@ where
 {
     let items = WorkItems::new(ex.params(), limit)?;
     let mut runs: Vec<EnumRun<E>> = Vec::new();
+    stream_sequential(ex, proto, horizon, limit, &items, &mut runs)?;
+    Ok(runs)
+}
+
+/// Streams every run of the context into `sink` in the deterministic
+/// enumeration order, returning the number of runs delivered.
+///
+/// This is the memory-lean primitive behind [`enumerate_runs`] and
+/// [`enumerate_parallel`]: the sink sees the exact same runs in the exact
+/// same order the collecting entry points would return, but nothing
+/// retains them — spec checks, metric folds, and dominance sweeps run in
+/// `O(work item)` memory instead of `O(runs)`.
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use eba_sim::prelude::*;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let ctx = Context::minimal(Params::new(3, 0)?);
+/// let mut count = 0usize;
+/// let total = enumerate_into(
+///     &ctx,
+///     3,
+///     100_000,
+///     Parallelism::Sequential,
+///     &mut |_run: EnumRun<MinExchange>| {
+///         count += 1;
+///         Ok(())
+///     },
+/// )?;
+/// assert_eq!((count, total), (8, 8)); // 2^3 initial configurations
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Fails exactly when [`enumerate_runs`] fails (over-branchy round, or
+/// more than `limit` deduplicated runs), and additionally propagates any
+/// error the sink returns; on error the sink may have received a prefix
+/// of the run set.
+pub fn enumerate_into<E, P, S>(
+    ctx: &Context<E, P>,
+    horizon: u32,
+    limit: usize,
+    parallelism: Parallelism,
+    sink: &mut S,
+) -> Result<usize, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+    S: RunSink<E>,
+{
+    stream_runs(
+        ctx.exchange(),
+        ctx.protocol(),
+        horizon,
+        limit,
+        parallelism,
+        sink,
+    )
+}
+
+/// Positional-argument core of [`enumerate_into`]; also backs the legacy
+/// collecting wrappers.
+fn stream_runs<E, P, S>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    limit: usize,
+    parallelism: Parallelism,
+    sink: &mut S,
+) -> Result<usize, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+    S: RunSink<E>,
+{
+    let items = WorkItems::new(ex.params(), limit)?;
+    let workers = parallelism.worker_count().min(items.len().max(1));
+    if workers <= 1 {
+        stream_sequential(ex, proto, horizon, limit, &items, sink)
+    } else {
+        stream_parallel(ex, proto, horizon, limit, &items, workers, sink)
+    }
+}
+
+/// Single-threaded streaming engine: explores the work items in index
+/// order and delivers each item's runs to the sink as soon as the item
+/// finishes.
+fn stream_sequential<E, P, S>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    limit: usize,
+    items: &WorkItems,
+    sink: &mut S,
+) -> Result<usize, EbaError>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+    S: RunSink<E>,
+{
+    let mut total = 0usize;
     for idx in 0..items.len() {
         let (nonfaulty, inits) = items.get(idx);
         let item_runs = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit)?;
-        merge_item(&mut runs, item_runs, limit)?;
+        total = deliver_item(sink, item_runs, total, limit)?;
     }
-    Ok(runs)
+    Ok(total)
+}
+
+/// Threaded streaming engine: workers pull items off a shared cursor and
+/// send each finished item over a channel; the calling thread reorders
+/// them back into item-index order and feeds the sink, so the stream is
+/// bit-for-bit identical to the sequential one. Only the out-of-order
+/// window is ever buffered.
+fn stream_parallel<E, P, S>(
+    ex: &E,
+    proto: &P,
+    horizon: u32,
+    limit: usize,
+    items: &WorkItems,
+    workers: usize,
+    sink: &mut S,
+) -> Result<usize, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+    S: RunSink<E>,
+{
+    let cursor = AtomicUsize::new(0);
+    let committed = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    type ItemResult<E> = Result<Vec<EnumRun<E>>, EbaError>;
+    let (tx, rx) = mpsc::channel::<(usize, ItemResult<E>)>();
+
+    // Shadow the shared counters with references so the `move` closures
+    // capture `tx` by value but everything else by reference.
+    let (cursor, committed, failed) = (&cursor, &committed, &failed);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    // Cheap early exit once any item errored, the sink
+                    // refused a run, or the run limit is globally blown;
+                    // the consumer reports the error either way.
+                    if failed.load(Ordering::Relaxed) || committed.load(Ordering::Relaxed) > limit {
+                        break;
+                    }
+                    let (nonfaulty, inits) = items.get(idx);
+                    let result = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit);
+                    match &result {
+                        Ok(item_runs) => {
+                            committed.fetch_add(item_runs.len(), Ordering::Relaxed);
+                        }
+                        Err(_) => failed.store(true, Ordering::Relaxed),
+                    }
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Consumer: reorder finished items into index order and stream
+        // them out, releasing each item's memory as soon as it is sunk.
+        let mut pending: HashMap<usize, ItemResult<E>> = HashMap::new();
+        let mut next = 0usize;
+        let mut total = 0usize;
+        let mut first_error: Option<EbaError> = None;
+        for (idx, result) in rx {
+            pending.insert(idx, result);
+            while let Some(result) = pending.remove(&next) {
+                next += 1;
+                if first_error.is_some() {
+                    continue;
+                }
+                match result {
+                    Ok(item_runs) => match deliver_item(sink, item_runs, total, limit) {
+                        Ok(new_total) => total = new_total,
+                        Err(e) => {
+                            failed.store(true, Ordering::Relaxed);
+                            first_error = Some(e);
+                        }
+                    },
+                    Err(e) => {
+                        failed.store(true, Ordering::Relaxed);
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if next < items.len() {
+            // Aborted: some worker bailed before producing every item.
+            // Report a recorded item error if there is one, else it was
+            // the run limit.
+            for (_, result) in pending {
+                result?;
+            }
+            return Err(limit_error(limit));
+        }
+        Ok(total)
+    })
 }
 
 /// Enumerates every run of `(E, P)` exactly as [`enumerate_runs`] does,
@@ -110,66 +332,8 @@ where
     E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
-    let items = WorkItems::new(ex.params(), limit)?;
-    let workers = parallelism.worker_count().min(items.len().max(1));
-    if workers <= 1 {
-        return enumerate_runs(ex, proto, horizon, limit);
-    }
-
-    // Work distribution: a shared cursor hands items out in index order; a
-    // slot per item collects its result so the merge below can run in item
-    // order no matter which worker produced what.
-    type ItemSlot<E> = Option<Result<Vec<EnumRun<E>>, EbaError>>;
-    let cursor = AtomicUsize::new(0);
-    let committed = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let slots: Mutex<Vec<ItemSlot<E>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                // Cheap early exit once any item errored or the run limit
-                // is globally blown; the merge reports the error either
-                // way, so unprocessed slots are fine.
-                if failed.load(Ordering::Relaxed) || committed.load(Ordering::Relaxed) > limit {
-                    break;
-                }
-                let (nonfaulty, inits) = items.get(idx);
-                let result = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit);
-                match &result {
-                    Ok(item_runs) => {
-                        committed.fetch_add(item_runs.len(), Ordering::Relaxed);
-                    }
-                    Err(_) => failed.store(true, Ordering::Relaxed),
-                }
-                slots.lock().expect("no poisoned worker")[idx] = Some(result);
-            });
-        }
-    });
-
     let mut runs: Vec<EnumRun<E>> = Vec::new();
-    let mut remaining = slots.into_inner().expect("workers joined").into_iter();
-    while let Some(slot) = remaining.next() {
-        match slot {
-            Some(Ok(item_runs)) => merge_item(&mut runs, item_runs, limit)?,
-            Some(Err(e)) => return Err(e),
-            // A `None` slot only happens after an abort: some item errored
-            // or the committed counter blew the limit. Report the recorded
-            // item error if there is one, else it was the run limit.
-            None => {
-                for later in remaining {
-                    if let Some(Err(e)) = later {
-                        return Err(e);
-                    }
-                }
-                return Err(limit_error(limit));
-            }
-        }
-    }
+    stream_runs(ex, proto, horizon, limit, parallelism, &mut runs)?;
     Ok(runs)
 }
 
@@ -242,19 +406,24 @@ impl WorkItems {
     }
 }
 
-/// Appends one item's runs to the global result, enforcing the global run
-/// limit. Deduplication is *not* needed here: see the module docs — runs
-/// from different items always differ in `N` or `states[0]`.
-fn merge_item<E: InformationExchange>(
-    runs: &mut Vec<EnumRun<E>>,
+/// Streams one item's runs into the sink, enforcing the global run limit;
+/// returns the updated delivered-run count. Deduplication is *not* needed
+/// here: see the module docs — runs from different items always differ in
+/// `N` or `states[0]`.
+fn deliver_item<E: InformationExchange, S: RunSink<E>>(
+    sink: &mut S,
     item_runs: Vec<EnumRun<E>>,
+    total: usize,
     limit: usize,
-) -> Result<(), EbaError> {
-    if runs.len() + item_runs.len() > limit {
+) -> Result<usize, EbaError> {
+    if total + item_runs.len() > limit {
         return Err(limit_error(limit));
     }
-    runs.extend(item_runs);
-    Ok(())
+    let new_total = total + item_runs.len();
+    for run in item_runs {
+        sink.accept(run)?;
+    }
+    Ok(new_total)
 }
 
 fn limit_error(limit: usize) -> EbaError {
@@ -511,6 +680,46 @@ mod tests {
             r.nonfaulty == AgentSet::full(3) && r.inits == inits && r.states == trace.states
         });
         assert!(found, "the failure-free trajectory must be enumerated");
+    }
+
+    #[test]
+    fn streaming_parallel_preserves_sequential_order() {
+        // The reorder buffer must deliver runs to the sink in the exact
+        // sequential order even when workers finish out of order.
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::basic(params);
+        let sequential = enumerate_runs(ctx.exchange(), ctx.protocol(), 4, 1_000_000).unwrap();
+        let mut streamed: Vec<EnumRun<BasicExchange>> = Vec::new();
+        let total =
+            enumerate_into(&ctx, 4, 1_000_000, Parallelism::Fixed(4), &mut streamed).unwrap();
+        assert_eq!(total, sequential.len());
+        for (s, p) in sequential.iter().zip(&streamed) {
+            assert_eq!(s.nonfaulty, p.nonfaulty);
+            assert_eq!(s.states, p.states);
+        }
+    }
+
+    #[test]
+    fn streaming_parallel_propagates_sink_errors() {
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::minimal(params);
+        let mut seen = 0usize;
+        let err = enumerate_into(
+            &ctx,
+            4,
+            1_000_000,
+            Parallelism::Fixed(4),
+            &mut |_run: EnumRun<MinExchange>| {
+                seen += 1;
+                if seen >= 3 {
+                    Err(EbaError::InvalidInput("sink aborted".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sink aborted"));
     }
 
     #[test]

@@ -13,11 +13,15 @@
 //! * [`dominance`] — the `≤_γ` comparison between action protocols over
 //!   corresponding runs;
 //! * [`chains`] — 0-chain reconstruction (Section 6);
+//! * [`scenario`] — the [`scenario::Scenario`] builder: the fluent entry
+//!   point over a first-class [`Context`](eba_core::context::Context),
+//!   replacing the positional `(&exchange, &protocol, …)` signatures;
 //! * [`enumerate`] — exhaustive generation of **all** runs `R_{E,F,P}` of
 //!   a context for small `(n, t)`, used by `eba-epistemic` to build
 //!   interpreted systems; sequential or sharded across threads
 //!   ([`enumerate::enumerate_parallel`]) with bit-for-bit identical
-//!   output.
+//!   output, or streamed through a [`sink::RunSink`] without collecting
+//!   ([`enumerate::enumerate_into`]).
 //!
 //! # Example
 //!
@@ -26,13 +30,9 @@
 //! use eba_sim::prelude::*;
 //!
 //! # fn main() -> Result<(), EbaError> {
-//! let params = Params::new(4, 1)?;
-//! let ex = BasicExchange::new(params);
-//! let proto = PBasic::new(params);
-//! let pattern = FailurePattern::failure_free(params);
-//! let inits = vec![Value::One; 4];
-//! let trace = run(&ex, &proto, &pattern, &inits, &SimOptions::default())?;
-//! check_eba(&ex, &trace).expect("EBA holds");
+//! let ctx = Context::basic(Params::new(4, 1)?);
+//! let trace = Scenario::of(&ctx).inits(&[Value::One; 4]).run()?;
+//! check_eba(ctx.exchange(), &trace).expect("EBA holds");
 //! // Prop 8.2(b): everyone decides 1 in round 2 with P_basic.
 //! assert!(trace.metrics.decision_rounds.iter().all(|r| *r == Some(2)));
 //! # Ok(())
@@ -45,6 +45,8 @@ pub mod enumerate;
 pub mod metrics;
 pub mod render;
 pub mod runner;
+pub mod scenario;
+pub mod sink;
 pub mod spec;
 pub mod trace;
 
@@ -52,10 +54,14 @@ pub mod trace;
 pub mod prelude {
     pub use crate::chains::{verify_zero_chains, zero_chain_ending_at};
     pub use crate::dominance::{compare_corresponding, DominanceSummary, RunComparison};
-    pub use crate::enumerate::{enumerate_parallel, enumerate_runs, enumerate_with, EnumRun};
+    pub use crate::enumerate::{
+        enumerate_into, enumerate_parallel, enumerate_runs, enumerate_with, EnumRun,
+    };
     pub use crate::metrics::Metrics;
     pub use crate::render::{render_round_deliveries, render_timeline};
     pub use crate::runner::{run, Parallelism, SimOptions};
+    pub use crate::scenario::Scenario;
+    pub use crate::sink::RunSink;
     pub use crate::spec::{check_decides_by, check_eba, check_validity_all, SpecViolation};
     pub use crate::trace::{Delivery, MsgClass, Trace};
 }

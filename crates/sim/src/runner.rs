@@ -1,7 +1,8 @@
 //! The lockstep runner: executes one run of `(E, P)` against a failure
 //! pattern, following the global-transition semantics of Section 3.
 
-use eba_core::exchange::InformationExchange;
+use eba_core::context::validate_scenario_shape;
+use eba_core::exchange::{step_round_observed, InformationExchange, RoundObserver};
 use eba_core::failures::FailurePattern;
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{Action, AgentId, EbaError, Value};
@@ -27,7 +28,9 @@ pub enum Parallelism {
 
 impl Parallelism {
     /// The number of worker threads this setting resolves to on the
-    /// current machine (always at least 1).
+    /// current machine — always at least 1; in particular, `Fixed(0)`
+    /// resolves to 1.
+    #[must_use]
     pub fn worker_count(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
@@ -66,15 +69,48 @@ impl Default for SimOptions {
 
 impl SimOptions {
     /// Overrides the horizon.
+    #[must_use]
     pub fn with_horizon(mut self, rounds: u32) -> Self {
         self.horizon = Some(rounds);
         self
     }
 
     /// Overrides the parallelism used by batch APIs.
+    #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
+    }
+}
+
+/// Hangs the trace bookkeeping — metrics accounting and per-round
+/// delivery records — off the shared
+/// [`step_round_observed`] routine, so the runner and every other
+/// round-stepper drive the exact same global transition.
+struct TraceObserver<'a, E: InformationExchange> {
+    ex: &'a E,
+    actions: &'a [Action],
+    record_deliveries: bool,
+    metrics: &'a mut Metrics,
+    round_deliveries: &'a mut Vec<Delivery>,
+}
+
+impl<E: InformationExchange> RoundObserver<E> for TraceObserver<'_, E> {
+    fn on_send(&mut self, _from: AgentId, _to: AgentId, msg: &E::Message) {
+        self.metrics.messages_sent += 1;
+        self.metrics.bits_sent += self.ex.message_bits(msg);
+    }
+
+    fn on_deliver(&mut self, from: AgentId, to: AgentId, msg: &E::Message) {
+        self.metrics.messages_delivered += 1;
+        self.metrics.bits_delivered += self.ex.message_bits(msg);
+        if self.record_deliveries {
+            self.round_deliveries.push(Delivery {
+                from,
+                to,
+                class: MsgClass::of_action(self.actions[from.index()]),
+            });
+        }
     }
 }
 
@@ -87,7 +123,9 @@ impl SimOptions {
 /// # Errors
 ///
 /// Returns [`EbaError::InvalidInput`] if `inits.len() != n` or the pattern
-/// was built for different parameters.
+/// was built for different parameters; the message lists **every** shape
+/// problem, each naming the offending argument (the same validation the
+/// [`Scenario`](crate::scenario::Scenario) builder performs).
 pub fn run<E, P>(
     ex: &E,
     proto: &P,
@@ -101,19 +139,7 @@ where
 {
     let params = ex.params();
     let n = params.n();
-    if inits.len() != n {
-        return Err(EbaError::InvalidInput(format!(
-            "{} initial preferences for {n} agents",
-            inits.len()
-        )));
-    }
-    if pattern.params() != params {
-        return Err(EbaError::InvalidInput(format!(
-            "pattern built for {} but exchange is {}",
-            pattern.params(),
-            params
-        )));
-    }
+    validate_scenario_shape(params, pattern, inits)?;
     let horizon = opts.horizon.unwrap_or_else(|| params.default_horizon());
 
     let mut states: Vec<E::State> = (0..n)
@@ -140,50 +166,23 @@ where
             }
         }
 
-        // 2. Message selection.
-        let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
-            .map(|i| {
-                let out = ex.outgoing(AgentId::new(i), &states[i], actions[i]);
-                debug_assert_eq!(out.len(), n, "μ must address every agent");
-                out
-            })
-            .collect();
-        for row in &outgoing {
-            for msg in row.iter().flatten() {
-                metrics.messages_sent += 1;
-                metrics.bits_sent += ex.message_bits(msg);
-            }
-        }
-
-        // 3. Failure pattern + 4. state update.
+        // 2.–4. Message selection, failure pattern, state update: the
+        // shared round-step routine, observed for metrics and deliveries.
         let mut round_deliveries = Vec::new();
-        let mut next_states = Vec::with_capacity(n);
-        for j in 0..n {
-            let to = AgentId::new(j);
-            let received: Vec<Option<E::Message>> = (0..n)
-                .map(|i| {
-                    let from = AgentId::new(i);
-                    match &outgoing[i][j] {
-                        Some(msg) if pattern.delivers(m, from, to) => {
-                            metrics.messages_delivered += 1;
-                            metrics.bits_delivered += ex.message_bits(msg);
-                            if opts.record_deliveries {
-                                round_deliveries.push(Delivery {
-                                    from,
-                                    to,
-                                    class: MsgClass::of_action(actions[i]),
-                                });
-                            }
-                            Some(msg.clone())
-                        }
-                        _ => None,
-                    }
-                })
-                .collect();
-            next_states.push(ex.update(to, &states[j], actions[j], &received));
-        }
-
-        states = next_states;
+        let mut observer = TraceObserver {
+            ex,
+            actions: &actions,
+            record_deliveries: opts.record_deliveries,
+            metrics: &mut metrics,
+            round_deliveries: &mut round_deliveries,
+        };
+        states = step_round_observed(
+            ex,
+            &states,
+            &actions,
+            |from, to| pattern.delivers(m, from, to),
+            &mut observer,
+        );
         trace_states.push(states.clone());
         trace_actions.push(actions);
         deliveries.push(round_deliveries);
@@ -215,8 +214,24 @@ mod tests {
         let ex = MinExchange::new(params());
         let p = PMin::new(params());
         let pat = FailurePattern::failure_free(params());
-        let err = run(&ex, &p, &pat, &[Value::One; 3], &SimOptions::default());
-        assert!(err.is_err());
+        let err = run(&ex, &p, &pat, &[Value::One; 3], &SimOptions::default()).unwrap_err();
+        // The message names the argument and the expected length, in the
+        // same format as the pattern-mismatch error.
+        let msg = err.to_string();
+        assert!(msg.contains("inits: got 3"), "{msg}");
+        assert!(msg.contains("(expected n = 4)"), "{msg}");
+    }
+
+    #[test]
+    fn reports_all_shape_errors_at_once() {
+        let ex = MinExchange::new(params());
+        let p = PMin::new(params());
+        let other = Params::new(5, 1).unwrap();
+        let pat = FailurePattern::failure_free(other);
+        let err = run(&ex, &p, &pat, &[Value::One; 3], &SimOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("inits: got 3"), "{msg}");
+        assert!(msg.contains("pattern: got a pattern built for"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! The [`Scenario`] builder: one fluent entry point for running and
+//! exhaustively enumerating a context.
+//!
+//! Historically every call site threaded `(&exchange, &protocol,
+//! &pattern, &inits, &opts)` positionally through [`crate::runner::run`]
+//! and the enumerators. `Scenario` replaces that with a builder over a
+//! first-class [`Context`]: configure what differs from the defaults,
+//! then [`run`](Scenario::run), [`enumerate`](Scenario::enumerate), or
+//! stream with [`enumerate_into`](Scenario::enumerate_into).
+//!
+//! Validation is centralized here (and shared with the runner and the
+//! transport cluster via [`validate_scenario_shape`]), so shape errors
+//! report **every** problem at once, each naming the offending argument.
+
+use eba_core::context::{validate_scenario_shape, Context};
+use eba_core::exchange::InformationExchange;
+use eba_core::failures::FailurePattern;
+use eba_core::protocols::ActionProtocol;
+use eba_core::types::{EbaError, Value};
+
+use crate::enumerate::{enumerate_into, EnumRun};
+use crate::runner::{run, Parallelism, SimOptions};
+use crate::sink::RunSink;
+use crate::trace::Trace;
+
+/// Default run limit for exhaustive enumeration (same ballpark the test
+/// suites use; override with [`Scenario::limit`]).
+const DEFAULT_ENUM_LIMIT: usize = 10_000_000;
+
+/// A configured execution of a context: which failure pattern, which
+/// initial preferences, how many rounds, how much hardware.
+///
+/// Build one with [`Scenario::of`], override what you need, and finish
+/// with [`run`](Scenario::run) (a single trace),
+/// [`enumerate`](Scenario::enumerate) (all runs of the context), or
+/// [`enumerate_into`](Scenario::enumerate_into) (stream all runs through
+/// a [`RunSink`] without collecting them).
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use eba_sim::prelude::*;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let ctx = Context::basic(Params::new(4, 1)?);
+/// let trace = Scenario::of(&ctx).inits(&[Value::One; 4]).run()?;
+/// check_eba(ctx.exchange(), &trace).expect("EBA holds");
+/// // Prop 8.2(b): everyone decides 1 in round 2 with P_basic.
+/// assert!(trace.metrics.decision_rounds.iter().all(|r| *r == Some(2)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scenario<'c, E, P> {
+    ctx: &'c Context<E, P>,
+    pattern: Option<FailurePattern>,
+    inits: Option<Vec<Value>>,
+    opts: SimOptions,
+    limit: usize,
+}
+
+impl<'c, E, P> Scenario<'c, E, P>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    /// Starts a scenario over `ctx` with the defaults: the failure-free
+    /// pattern, no initial preferences yet (set [`inits`](Scenario::inits)
+    /// before [`run`](Scenario::run)), the context's default horizon, and
+    /// sequential execution.
+    #[must_use]
+    pub fn of(ctx: &'c Context<E, P>) -> Self {
+        Scenario {
+            ctx,
+            pattern: None,
+            inits: None,
+            opts: SimOptions::default(),
+            limit: DEFAULT_ENUM_LIMIT,
+        }
+    }
+
+    /// Sets the failure pattern (defaults to failure-free).
+    #[must_use]
+    pub fn pattern(mut self, pattern: FailurePattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Sets the initial preferences (required by [`run`](Scenario::run);
+    /// ignored by the enumeration entry points, which cover every initial
+    /// configuration).
+    #[must_use]
+    pub fn inits(mut self, inits: &[Value]) -> Self {
+        self.inits = Some(inits.to_vec());
+        self
+    }
+
+    /// Overrides the horizon (defaults to `params.default_horizon()`,
+    /// i.e. `t + 3`).
+    #[must_use]
+    pub fn horizon(mut self, rounds: u32) -> Self {
+        self.opts.horizon = Some(rounds);
+        self
+    }
+
+    /// Sets the hardware parallelism for the enumeration entry points
+    /// (defaults to [`Parallelism::Sequential`]; a single
+    /// [`run`](Scenario::run) is always sequential).
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.opts.parallelism = parallelism;
+        self
+    }
+
+    /// Enables or disables per-round delivery recording (defaults to on).
+    #[must_use]
+    pub fn record_deliveries(mut self, record: bool) -> Self {
+        self.opts.record_deliveries = record;
+        self
+    }
+
+    /// Sets the deduplicated-run limit for the enumeration entry points
+    /// (defaults to 10 million).
+    #[must_use]
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// The underlying simulation options this builder has accumulated.
+    #[must_use]
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Validates every shape constraint [`run`](Scenario::run) relies on,
+    /// reporting **all** violations at once: missing or wrong-length
+    /// initial preferences, and a failure pattern built for different
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] listing every problem,
+    /// `; `-separated, each naming the offending builder argument.
+    pub fn validate(&self) -> Result<(), EbaError> {
+        self.validate_with(&self.effective_pattern())
+    }
+
+    /// [`validate`](Scenario::validate) against an already-materialized
+    /// pattern, so callers that need the pattern afterwards build it once.
+    fn validate_with(&self, pattern: &FailurePattern) -> Result<(), EbaError> {
+        let params = self.ctx.params();
+        match &self.inits {
+            None => {
+                let mut problems = vec![format!(
+                    "inits: not set (expected n = {} initial preferences)",
+                    params.n()
+                )];
+                if let Err(e) =
+                    validate_scenario_shape(params, pattern, &vec![Value::One; params.n()])
+                {
+                    problems.push(strip_invalid_input(&e));
+                }
+                Err(EbaError::InvalidInput(problems.join("; ")))
+            }
+            Some(inits) => validate_scenario_shape(params, pattern, inits),
+        }
+    }
+
+    /// Executes one run of the scenario on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] (via [`validate`](Scenario::validate))
+    /// listing every shape problem if the inputs disagree with the
+    /// context's parameters.
+    pub fn run(&self) -> Result<Trace<E>, EbaError> {
+        let pattern = self.effective_pattern();
+        self.validate_with(&pattern)?;
+        let inits = self.inits.as_ref().expect("validated above");
+        run(
+            self.ctx.exchange(),
+            self.ctx.protocol(),
+            &pattern,
+            inits,
+            &self.opts,
+        )
+    }
+
+    /// Collects every run of the context up to the horizon, deduplicated
+    /// by `(N, trajectory)` — the builder-facing face of
+    /// [`crate::enumerate::enumerate_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] if a round branches too widely
+    /// to enumerate or the deduplicated run count exceeds the limit.
+    pub fn enumerate(&self) -> Result<Vec<EnumRun<E>>, EbaError>
+    where
+        E: Sync,
+        E::State: Send,
+        P: Sync,
+    {
+        let mut runs = Vec::new();
+        self.enumerate_into(&mut runs)?;
+        Ok(runs)
+    }
+
+    /// Streams every run of the context through `sink` in deterministic
+    /// enumeration order without collecting them — the builder-facing
+    /// face of [`crate::enumerate::enumerate_into`].
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`enumerate`](Scenario::enumerate) fails, and
+    /// additionally propagates any error the sink returns.
+    pub fn enumerate_into<S>(&self, sink: &mut S) -> Result<usize, EbaError>
+    where
+        E: Sync,
+        E::State: Send,
+        P: Sync,
+        S: RunSink<E>,
+    {
+        enumerate_into(
+            self.ctx,
+            self.effective_horizon(),
+            self.limit,
+            self.opts.parallelism,
+            sink,
+        )
+    }
+
+    fn effective_pattern(&self) -> FailurePattern {
+        self.pattern
+            .clone()
+            .unwrap_or_else(|| FailurePattern::failure_free(self.ctx.params()))
+    }
+
+    fn effective_horizon(&self) -> u32 {
+        self.opts
+            .horizon
+            .unwrap_or_else(|| self.ctx.params().default_horizon())
+    }
+}
+
+/// The `Display` form of [`EbaError::InvalidInput`] repeats the variant
+/// prefix; strip it when splicing one error's message into another.
+fn strip_invalid_input(e: &EbaError) -> String {
+    match e {
+        EbaError::InvalidInput(msg) => msg.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    fn params() -> Params {
+        Params::new(4, 1).unwrap()
+    }
+
+    #[test]
+    fn scenario_run_matches_positional_run() {
+        let ctx = Context::basic(params());
+        let pattern = FailurePattern::failure_free(params());
+        let inits = vec![Value::Zero, Value::One, Value::One, Value::One];
+        let via_builder = Scenario::of(&ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .run()
+            .unwrap();
+        let via_positional = run(
+            ctx.exchange(),
+            ctx.protocol(),
+            &pattern,
+            &inits,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(via_builder.states, via_positional.states);
+        assert_eq!(via_builder.actions, via_positional.actions);
+        assert_eq!(
+            via_builder.metrics.decision_rounds,
+            via_positional.metrics.decision_rounds
+        );
+    }
+
+    #[test]
+    fn default_pattern_is_failure_free() {
+        let ctx = Context::minimal(params());
+        let trace = Scenario::of(&ctx).inits(&[Value::One; 4]).run().unwrap();
+        assert_eq!(trace.nonfaulty(), AgentSet::full(4));
+    }
+
+    #[test]
+    fn validation_reports_every_problem_at_once() {
+        let ctx = Context::minimal(params());
+        let foreign = FailurePattern::failure_free(Params::new(6, 2).unwrap());
+        let err = Scenario::of(&ctx)
+            .pattern(foreign)
+            .inits(&[Value::One; 2])
+            .run()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("inits: got 2"), "{msg}");
+        assert!(msg.contains("expected n = 4"), "{msg}");
+        assert!(msg.contains("pattern: got a pattern built for"), "{msg}");
+    }
+
+    #[test]
+    fn missing_inits_is_reported_alongside_pattern_mismatch() {
+        let ctx = Context::minimal(params());
+        let foreign = FailurePattern::failure_free(Params::new(6, 2).unwrap());
+        let err = Scenario::of(&ctx).pattern(foreign).validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("inits: not set"), "{msg}");
+        assert!(msg.contains("pattern: got a pattern built for"), "{msg}");
+    }
+
+    #[test]
+    fn horizon_and_deliveries_flow_through() {
+        let ctx = Context::minimal(params());
+        let trace = Scenario::of(&ctx)
+            .inits(&[Value::One; 4])
+            .horizon(6)
+            .record_deliveries(false)
+            .run()
+            .unwrap();
+        assert_eq!(trace.horizon(), 6);
+        assert!(trace.deliveries.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn enumerate_matches_the_legacy_enumerator() {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let via_builder = Scenario::of(&ctx).horizon(4).enumerate().unwrap();
+        let legacy =
+            crate::enumerate::enumerate_runs(ctx.exchange(), ctx.protocol(), 4, DEFAULT_ENUM_LIMIT)
+                .unwrap();
+        assert_eq!(via_builder.len(), legacy.len());
+        for (a, b) in via_builder.iter().zip(&legacy) {
+            assert_eq!(a.nonfaulty, b.nonfaulty);
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.actions, b.actions);
+        }
+    }
+
+    #[test]
+    fn enumerate_into_counts_what_enumerate_collects() {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let collected = Scenario::of(&ctx).enumerate().unwrap();
+        let mut count = 0usize;
+        let total = Scenario::of(&ctx)
+            .enumerate_into(&mut |_run: EnumRun<MinExchange>| {
+                count += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(total, collected.len());
+        assert_eq!(count, collected.len());
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let err = Scenario::of(&ctx).limit(10).enumerate().unwrap_err();
+        assert!(err.to_string().contains("limit"));
+    }
+}

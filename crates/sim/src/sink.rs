@@ -1,0 +1,131 @@
+//! Streaming consumers for exhaustive run enumeration.
+//!
+//! The exhaustive enumerators historically returned `Vec<EnumRun<E>>`,
+//! which makes peak memory proportional to the *total* number of runs —
+//! ~100k trajectories for the full `E_fip/P_opt` `(3, 1)` context. Most
+//! consumers (spec checking, metrics aggregation, dominance sweeps) only
+//! *fold* over the runs, so [`RunSink`] lets them receive each run as it
+//! is produced and drop it immediately: peak memory falls from the whole
+//! run set to the largest single work item (one `(N, inits)` shard of the
+//! search space).
+//!
+//! `Vec<EnumRun<E>>` itself is a sink (it collects), and so is any
+//! `FnMut(EnumRun<E>) -> Result<(), EbaError>` closure, so ad-hoc folds
+//! need no wrapper type:
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! let ctx = Context::minimal(Params::new(3, 1)?);
+//! // Count decided agents at the horizon without keeping any run alive.
+//! let mut decided = 0usize;
+//! let total = enumerate_into(
+//!     &ctx,
+//!     4,
+//!     1_000_000,
+//!     Parallelism::Sequential,
+//!     &mut |run: EnumRun<MinExchange>| {
+//!         let last = run.states.last().expect("nonempty");
+//!         decided += last
+//!             .iter()
+//!             .filter(|s| ctx.exchange().decided(s).is_some())
+//!             .count();
+//!         Ok(())
+//!     },
+//! )?;
+//! assert!(total > 0 && decided > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use eba_core::exchange::InformationExchange;
+use eba_core::types::EbaError;
+
+use crate::enumerate::EnumRun;
+
+/// A streaming consumer of enumerated runs.
+///
+/// [`enumerate_into`](crate::enumerate::enumerate_into) feeds every run of
+/// the context to the sink **in the deterministic enumeration order** (the
+/// same order `enumerate_runs` returns them in), even when the search is
+/// sharded across threads.
+///
+/// Returning an error from [`accept`](RunSink::accept) aborts the
+/// enumeration and propagates the error; the sink may by then have
+/// received an arbitrary prefix of the run set.
+pub trait RunSink<E: InformationExchange> {
+    /// Consumes one enumerated run.
+    ///
+    /// # Errors
+    ///
+    /// Any error aborts the enumeration and is propagated to the caller.
+    fn accept(&mut self, run: EnumRun<E>) -> Result<(), EbaError>;
+}
+
+/// Collecting sink: `Vec` gathers every run, reproducing the legacy
+/// `enumerate_runs` output exactly.
+impl<E: InformationExchange> RunSink<E> for Vec<EnumRun<E>> {
+    fn accept(&mut self, run: EnumRun<E>) -> Result<(), EbaError> {
+        self.push(run);
+        Ok(())
+    }
+}
+
+/// Closure sink: any `FnMut(EnumRun<E>) -> Result<(), EbaError>` folds
+/// over the stream without a wrapper type.
+impl<E, F> RunSink<E> for F
+where
+    E: InformationExchange,
+    F: FnMut(EnumRun<E>) -> Result<(), EbaError>,
+{
+    fn accept(&mut self, run: EnumRun<E>) -> Result<(), EbaError> {
+        self(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_into, enumerate_runs};
+    use crate::runner::Parallelism;
+    use eba_core::prelude::*;
+
+    #[test]
+    fn vec_sink_reproduces_enumerate_runs() {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let legacy = enumerate_runs(ctx.exchange(), ctx.protocol(), 4, 100_000).unwrap();
+        let mut collected = Vec::new();
+        let total =
+            enumerate_into(&ctx, 4, 100_000, Parallelism::Sequential, &mut collected).unwrap();
+        assert_eq!(total, legacy.len());
+        assert_eq!(collected.len(), legacy.len());
+        for (a, b) in collected.iter().zip(&legacy) {
+            assert_eq!(a.states, b.states);
+        }
+    }
+
+    #[test]
+    fn closure_sink_errors_abort_the_enumeration() {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let mut seen = 0usize;
+        let err = enumerate_into(
+            &ctx,
+            4,
+            100_000,
+            Parallelism::Sequential,
+            &mut |_run: EnumRun<MinExchange>| {
+                seen += 1;
+                if seen == 5 {
+                    Err(EbaError::InvalidInput("sink full".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sink full"));
+        assert_eq!(seen, 5);
+    }
+}

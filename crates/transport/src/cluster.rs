@@ -3,12 +3,13 @@
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 
+use eba_core::context::{validate_scenario_shape, Context, NamedStack};
 use eba_core::exchange::InformationExchange;
 use eba_core::failures::FailurePattern;
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{Action, AgentId, EbaError, Value};
 
-use crate::codec::WireCodec;
+use crate::codec::{BasicCodec, FipCodec, MinCodec, NaiveCodec, WireCodec};
 
 /// What one agent sends to the router in a round: one optional frame per
 /// recipient.
@@ -82,19 +83,9 @@ where
 {
     let params = ex.params();
     let n = params.n();
-    if inits.len() != n {
-        return Err(EbaError::InvalidInput(format!(
-            "{} initial preferences for {n} agents",
-            inits.len()
-        )));
-    }
-    if pattern.params() != params {
-        return Err(EbaError::InvalidInput(format!(
-            "pattern built for {} but exchange is {}",
-            pattern.params(),
-            params
-        )));
-    }
+    // Same shape validation as the lockstep runner and the `Scenario`
+    // builder: every problem reported at once, each naming its argument.
+    validate_scenario_shape(params, pattern, inits)?;
 
     // Agents → router (shared), router → each agent (private), agents →
     // collector for final reports.
@@ -233,6 +224,111 @@ where
     })
 }
 
+/// Runs a first-class [`Context`] on the threaded cluster — the
+/// `Scenario`-era face of [`run_cluster`]: the context supplies both
+/// halves of the stack, the caller supplies the wire codec.
+///
+/// # Errors
+///
+/// Exactly as [`run_cluster`].
+pub fn run_context_cluster<E, P, C>(
+    ctx: &Context<E, P>,
+    codec: &C,
+    pattern: &FailurePattern,
+    inits: &[Value],
+    horizon: u32,
+) -> Result<TransportReport<E>, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+    C: WireCodec<E::Message>,
+{
+    run_cluster(
+        ctx.exchange(),
+        ctx.protocol(),
+        codec,
+        pattern,
+        inits,
+        horizon,
+    )
+}
+
+/// A name-erased cluster outcome, for stacks selected from the registry
+/// at runtime (final states are stack-specific and therefore dropped).
+#[derive(Clone, Debug)]
+pub struct ClusterSummary {
+    /// Per-agent first decision round.
+    pub decision_rounds: Vec<Option<u32>>,
+    /// Per-agent decision value.
+    pub decision_values: Vec<Option<Value>>,
+    /// Total bytes of encoded frames handed to the router.
+    pub wire_bytes_sent: u64,
+    /// Total bytes actually delivered.
+    pub wire_bytes_delivered: u64,
+    /// Frames handed to the router.
+    pub frames_sent: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+impl<E: InformationExchange> From<TransportReport<E>> for ClusterSummary {
+    fn from(report: TransportReport<E>) -> Self {
+        ClusterSummary {
+            decision_rounds: report.decision_rounds,
+            decision_values: report.decision_values,
+            wire_bytes_sent: report.wire_bytes_sent,
+            wire_bytes_delivered: report.wire_bytes_delivered,
+            frames_sent: report.frames_sent,
+            rounds: report.rounds,
+        }
+    }
+}
+
+/// Runs a registry-selected stack ([`NamedStack`]) on the threaded
+/// cluster, pairing each exchange with its wire codec — this is how
+/// string-keyed stack selection (`-- --stack E_basic/P_basic`) reaches
+/// the transport layer.
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use eba_transport::run_named_cluster;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(4, 1)?;
+/// let stack = NamedStack::by_name("E_basic/P_basic", params)?;
+/// let pattern = FailurePattern::failure_free(params);
+/// let report = run_named_cluster(&stack, &pattern, &[Value::One; 4], 4)?;
+/// assert!(report.decision_rounds.iter().all(|r| *r == Some(2)));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Exactly as [`run_cluster`].
+pub fn run_named_cluster(
+    stack: &NamedStack,
+    pattern: &FailurePattern,
+    inits: &[Value],
+    horizon: u32,
+) -> Result<ClusterSummary, EbaError> {
+    match stack {
+        NamedStack::Min(ctx) => {
+            run_context_cluster(ctx, &MinCodec, pattern, inits, horizon).map(Into::into)
+        }
+        NamedStack::Basic(ctx) => {
+            run_context_cluster(ctx, &BasicCodec, pattern, inits, horizon).map(Into::into)
+        }
+        NamedStack::Fip(ctx) => {
+            run_context_cluster(ctx, &FipCodec, pattern, inits, horizon).map(Into::into)
+        }
+        NamedStack::Naive(ctx) => {
+            run_context_cluster(ctx, &NaiveCodec, pattern, inits, horizon).map(Into::into)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,8 +421,78 @@ mod tests {
         let ex = MinExchange::new(params());
         let proto = PMin::new(params());
         let pattern = FailurePattern::failure_free(params());
-        assert!(run_cluster(&ex, &proto, &MinCodec, &pattern, &[Value::One; 3], 4).is_err());
+        let err = run_cluster(&ex, &proto, &MinCodec, &pattern, &[Value::One; 3], 4).unwrap_err();
+        assert!(err.to_string().contains("inits: got 3"), "{err}");
         let other = FailurePattern::failure_free(Params::new(5, 1).unwrap());
-        assert!(run_cluster(&ex, &proto, &MinCodec, &other, &[Value::One; 4], 4).is_err());
+        let err = run_cluster(&ex, &proto, &MinCodec, &other, &[Value::One; 4], 4).unwrap_err();
+        assert!(
+            err.to_string().contains("pattern: got a pattern built for"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn every_registered_stack_runs_over_the_wire() {
+        // The registry reaches the transport: each named stack pairs with
+        // its codec and agrees with the lockstep simulator.
+        let pattern = FailurePattern::failure_free(params());
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        for name in STACK_NAMES {
+            let stack = NamedStack::by_name(name, params()).unwrap();
+            let report = run_named_cluster(&stack, &pattern, &inits, 4).unwrap();
+            assert_eq!(report.rounds, 4, "{name}");
+            assert!(report.wire_bytes_sent > 0, "{name}");
+            struct Lockstep<'a> {
+                pattern: &'a FailurePattern,
+                inits: &'a [Value],
+            }
+            impl StackVisitor for Lockstep<'_> {
+                type Output = (Vec<Option<u32>>, Vec<Option<Value>>);
+                fn visit<E, P>(self, ctx: &Context<E, P>) -> Self::Output
+                where
+                    E: InformationExchange + Clone + Sync + 'static,
+                    E::State: Send + Sync,
+                    E::Message: Send + Sync,
+                    P: ActionProtocol<E> + Clone + Sync + 'static,
+                {
+                    let trace = Scenario::of(ctx)
+                        .pattern(self.pattern.clone())
+                        .inits(self.inits)
+                        .horizon(4)
+                        .run()
+                        .expect("lockstep run");
+                    (
+                        trace.metrics.decision_rounds.clone(),
+                        trace.metrics.decision_values.clone(),
+                    )
+                }
+            }
+            let (rounds, values) = stack.visit(Lockstep {
+                pattern: &pattern,
+                inits: &inits,
+            });
+            assert_eq!(report.decision_rounds, rounds, "{name}");
+            assert_eq!(report.decision_values, values, "{name}");
+        }
+    }
+
+    #[test]
+    fn context_cluster_matches_positional_cluster() {
+        let ctx = Context::basic(params());
+        let pattern = FailurePattern::failure_free(params());
+        let via_ctx =
+            run_context_cluster(&ctx, &BasicCodec, &pattern, &[Value::One; 4], 4).unwrap();
+        let via_positional = run_cluster(
+            ctx.exchange(),
+            ctx.protocol(),
+            &BasicCodec,
+            &pattern,
+            &[Value::One; 4],
+            4,
+        )
+        .unwrap();
+        assert_eq!(via_ctx.decision_rounds, via_positional.decision_rounds);
+        assert_eq!(via_ctx.final_states, via_positional.final_states);
+        assert_eq!(via_ctx.wire_bytes_sent, via_positional.wire_bytes_sent);
     }
 }

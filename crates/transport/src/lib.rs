@@ -34,5 +34,7 @@
 mod cluster;
 mod codec;
 
-pub use cluster::{run_cluster, TransportReport};
+pub use cluster::{
+    run_cluster, run_context_cluster, run_named_cluster, ClusterSummary, TransportReport,
+};
 pub use codec::{BasicCodec, FipCodec, MinCodec, NaiveCodec, WireCodec};

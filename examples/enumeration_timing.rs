@@ -1,6 +1,8 @@
 //! Times the sequential vs parallel exhaustive enumerators on the largest
-//! instance the tier-1 suite exhausts (`P_opt` over `E_fip`, n = 3,
-//! t = 1, horizon 4 — ~10⁵ deduplicated runs), and verifies they agree.
+//! instance the tier-1 suite exhausts (`E_fip/P_opt`, n = 3, t = 1,
+//! horizon 4 — ~10⁵ deduplicated runs), verifies they agree, and then
+//! spec-checks the same context through a streaming `RunSink` (no
+//! collected `Vec` at all).
 //!
 //! ```text
 //! cargo run --release --example enumeration_timing
@@ -9,15 +11,15 @@
 use std::time::Instant;
 
 use eba::prelude::*;
+use eba::sim::enumerate::EnumRun;
 
 fn main() {
     let params = Params::new(3, 1).unwrap();
-    let ex = FipExchange::new(params);
-    let proto = POpt::new(params);
+    let ctx = Context::fip(params);
     let (horizon, limit) = (4, 10_000_000);
 
     let t0 = Instant::now();
-    let sequential = enumerate_runs(&ex, &proto, horizon, limit).unwrap();
+    let sequential = enumerate_runs(ctx.exchange(), ctx.protocol(), horizon, limit).unwrap();
     let sequential_time = t0.elapsed();
     println!(
         "sequential:        {} runs in {sequential_time:.2?}",
@@ -30,7 +32,9 @@ fn main() {
         Parallelism::Auto,
     ] {
         let t0 = Instant::now();
-        let parallel = enumerate_parallel(&ex, &proto, horizon, limit, parallelism).unwrap();
+        let parallel =
+            enumerate_parallel(ctx.exchange(), ctx.protocol(), horizon, limit, parallelism)
+                .unwrap();
         let elapsed = t0.elapsed();
         assert_eq!(sequential.len(), parallel.len());
         assert!(
@@ -51,4 +55,33 @@ fn main() {
         "(workers resolved by Auto on this machine: {})",
         Parallelism::Auto.worker_count()
     );
+
+    // Streaming: fold the EBA spec over every run through a sink — same
+    // deterministic order, but nothing retains the ~10⁵ trajectories.
+    let t0 = Instant::now();
+    let mut decided_everywhere = 0usize;
+    let total = enumerate_into(
+        &ctx,
+        horizon,
+        limit,
+        Parallelism::Auto,
+        &mut |run: EnumRun<FipExchange>| {
+            let last = run.states.last().expect("nonempty");
+            if run
+                .nonfaulty
+                .iter()
+                .all(|a| ctx.exchange().decided(&last[a.index()]).is_some())
+            {
+                decided_everywhere += 1;
+            }
+            Ok(())
+        },
+    )
+    .unwrap();
+    println!(
+        "streamed (sink):   {total} runs folded in {:.2?}; nonfaulty all decided in {decided_everywhere}",
+        t0.elapsed()
+    );
+    assert_eq!(total, sequential.len());
+    assert_eq!(decided_everywhere, total, "Termination on every run");
 }

@@ -25,8 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 6.5: P_min implements P0 in γ_min(3,1).
     let params = Params::new(3, 1)?;
     {
-        let proto = PMin::new(params);
-        let sys = InterpretedSystem::build(MinExchange::new(params), &proto, 4, 10_000_000)?;
+        let ctx = Context::minimal(params);
+        let proto = *ctx.protocol();
+        let sys = InterpretedSystem::from_context(ctx, 4, 10_000_000, Parallelism::Auto)?;
         let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P0);
         println!(
             "Thm 6.5  γ_min(3,1):  {} runs, {} comparisons, {} mismatches — {}",
@@ -39,8 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Theorem 6.6: P_basic implements P0 in γ_basic(3,1).
     {
-        let proto = PBasic::new(params);
-        let sys = InterpretedSystem::build(BasicExchange::new(params), &proto, 4, 10_000_000)?;
+        let ctx = Context::basic(params);
+        let proto = *ctx.protocol();
+        let sys = InterpretedSystem::from_context(ctx, 4, 10_000_000, Parallelism::Auto)?;
         let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P0);
         println!(
             "Thm 6.6  γ_basic(3,1): {} runs, {} comparisons, {} mismatches — {}",
@@ -54,10 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem A.21: P_opt implements P1 in γ_fip(3,1). This enumerates
     // every failure pattern of the full-information exchange (~100k runs).
     {
-        let proto = POpt::new(params);
+        let ctx = Context::fip(params);
+        let proto = *ctx.protocol();
         println!("\nbuilding the full-information system γ_fip(3,1)…");
         let t0 = std::time::Instant::now();
-        let sys = InterpretedSystem::build(FipExchange::new(params), &proto, 4, 10_000_000)?;
+        let sys = InterpretedSystem::from_context(ctx, 4, 10_000_000, Parallelism::Auto)?;
         println!(
             "  {} runs / {} points in {:?}",
             sys.runs().len(),

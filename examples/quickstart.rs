@@ -14,7 +14,6 @@
 //!    protocol still satisfies the EBA specification, and every
 //!    0-decision is justified by a 0-chain.
 
-use eba::core::protocols::ActionProtocol;
 use eba::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,29 +28,19 @@ fn failure_free_popt() -> Result<(), Box<dyn std::error::Error>> {
     // 5 agents, at most 2 omission-faulty (the SO(2) context).
     let params = Params::new(5, 2)?;
 
-    // P_opt reads the communication graph of the full-information
-    // exchange E_fip; together they are optimal among EBA protocols
-    // (Prop 7.9 / Cor 7.8).
-    let exchange = FipExchange::new(params);
-    let protocol = POpt::new(params);
+    // The context γ: P_opt reads the communication graph of the
+    // full-information exchange E_fip; together they are optimal among
+    // EBA protocols (Prop 7.9 / Cor 7.8). `Context::fip` bundles the
+    // pair; the registry (`NamedStack::by_name("E_fip/P_opt", …)`) builds
+    // the same stack from a string.
+    let ctx = Context::fip(params);
 
-    // Agent 0 prefers 0, everyone else prefers 1 — and nobody fails.
+    // Agent 0 prefers 0, everyone else prefers 1 — and nobody fails
+    // (the failure-free pattern is the Scenario default).
     let inits = vec![Value::Zero, Value::One, Value::One, Value::One, Value::One];
-    let pattern = FailurePattern::failure_free(params);
+    let trace = Scenario::of(&ctx).inits(&inits).run()?;
 
-    let trace = run(
-        &exchange,
-        &protocol,
-        &pattern,
-        &inits,
-        &SimOptions::default(),
-    )?;
-
-    println!(
-        "== scenario 1: {} over {} on a failure-free run ==",
-        protocol.name(),
-        exchange.name(),
-    );
+    println!("== scenario 1: {} on a failure-free run ==", ctx.name());
 
     // Round-by-round state: `states[m][i]` is agent i's state at time m.
     for (m, round_states) in trace.states.iter().enumerate() {
@@ -76,7 +65,7 @@ fn failure_free_popt() -> Result<(), Box<dyn std::error::Error>> {
     println!("  a0 decided 0 in round 1; everyone else in round 2 (optimal)");
 
     // The four EBA properties of Section 5 hold.
-    check_eba(&exchange, &trace)?;
+    check_eba(ctx.exchange(), &trace)?;
     check_validity_all(&trace)?;
     check_decides_by(&trace, params.decide_by_round())?;
     Ok(())
@@ -85,8 +74,7 @@ fn failure_free_popt() -> Result<(), Box<dyn std::error::Error>> {
 /// Scenario 2: `P_basic` against a sending-omission adversary.
 fn lossy_pbasic() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::new(5, 2)?;
-    let exchange = BasicExchange::new(params);
-    let protocol = PBasic::new(params);
+    let ctx = Context::basic(params);
 
     let inits = vec![Value::Zero, Value::One, Value::One, Value::One, Value::One];
 
@@ -99,19 +87,12 @@ fn lossy_pbasic() -> Result<(), Box<dyn std::error::Error>> {
         pattern.drop_message(m, AgentId::new(4), AgentId::new(2))?;
     }
 
-    let trace = run(
-        &exchange,
-        &protocol,
-        &pattern,
-        &inits,
-        &SimOptions::default(),
-    )?;
+    let trace = Scenario::of(&ctx)
+        .pattern(pattern.clone())
+        .inits(&inits)
+        .run()?;
 
-    println!(
-        "\n== scenario 2: {} over {} under omissions ==",
-        protocol.name(),
-        exchange.name(),
-    );
+    println!("\n== scenario 2: {} under omissions ==", ctx.name());
     for agent in params.agents() {
         println!(
             "  {agent}: decided {} in round {} ({})",
@@ -135,7 +116,7 @@ fn lossy_pbasic() -> Result<(), Box<dyn std::error::Error>> {
 
     // The spec holds on every run of the context, lossy or not (Prop 6.1);
     // decisions arrive by round t + 2.
-    check_eba(&exchange, &trace)?;
+    check_eba(ctx.exchange(), &trace)?;
     check_validity_all(&trace)?;
     check_decides_by(&trace, params.decide_by_round())?;
     assert!(trace

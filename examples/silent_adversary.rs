@@ -25,9 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Example 7.1: n = 20, t = 10, agents a0–a9 silent, all prefer 1 ==\n");
 
     // The epistemic timeline, from the observer's own communication graph.
-    let fip = FipExchange::new(params);
-    let popt = POpt::new(params);
-    let trace = run(&fip, &popt, &pattern, &inits, &SimOptions::default())?;
+    let fip_ctx = Context::fip(params);
+    let trace = Scenario::of(&fip_ctx)
+        .pattern(pattern.clone())
+        .inits(&inits)
+        .run()?;
     for m in 0..=3u32 {
         let state = &trace.states[m as usize][observer.index()];
         let analysis = FipAnalysis::analyze(&state.graph, params, observer);
@@ -46,25 +48,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Decision rounds for all four protocols on the same adversary.
     let rounds = |name: &str, r: u32| println!("  {name:<10} decides in round {r}");
     rounds(
-        popt.name(),
+        fip_ctx.protocol().name(),
         trace
             .metrics
             .max_decision_round(pattern.nonfaulty())
             .expect("all decide"),
     );
-    let no_ck = POpt::without_common_knowledge(params);
-    let t2 = run(&fip, &no_ck, &pattern, &inits, &SimOptions::default())?;
+    let no_ck_ctx = Context::new(
+        FipExchange::new(params),
+        POpt::without_common_knowledge(params),
+    );
+    let t2 = Scenario::of(&no_ck_ctx)
+        .pattern(pattern.clone())
+        .inits(&inits)
+        .run()?;
     rounds(
-        no_ck.name(),
+        no_ck_ctx.protocol().name(),
         t2.metrics.max_decision_round(pattern.nonfaulty()).unwrap(),
     );
-    let basic = run(
-        &BasicExchange::new(params),
-        &PBasic::new(params),
-        &pattern,
-        &inits,
-        &SimOptions::default(),
-    )?;
+    let basic_ctx = Context::basic(params);
+    let basic = Scenario::of(&basic_ctx)
+        .pattern(pattern.clone())
+        .inits(&inits)
+        .run()?;
     rounds(
         "P_basic",
         basic
@@ -72,13 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max_decision_round(pattern.nonfaulty())
             .unwrap(),
     );
-    let min = run(
-        &MinExchange::new(params),
-        &PMin::new(params),
-        &pattern,
-        &inits,
-        &SimOptions::default(),
-    )?;
+    let min_ctx = Context::minimal(params);
+    let min = Scenario::of(&min_ctx)
+        .pattern(pattern.clone())
+        .inits(&inits)
+        .run()?;
     rounds(
         "P_min",
         min.metrics.max_decision_round(pattern.nonfaulty()).unwrap(),

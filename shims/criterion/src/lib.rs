@@ -13,11 +13,35 @@
 //! mean wall-clock time per iteration. There is no statistical analysis,
 //! no HTML report, and no saved baseline — this harness exists so the
 //! benches compile, run, and print comparable numbers offline.
+//!
+//! Passing `--smoke` to a bench binary (`cargo bench -- --smoke`) caps
+//! every measurement budget at a few milliseconds: each benchmark still
+//! builds its inputs and runs at least a few iterations (so CI catches
+//! panics and assertion failures), but the sweep finishes quickly.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the process was invoked with `--smoke` (CI smoke runs: keep
+/// every benchmark's measurement budget tiny).
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--smoke"))
+}
+
+/// Caps a measurement budget: 500 ms normally (keeps full offline sweeps
+/// fast), 5 ms under `--smoke`.
+fn cap_budget(requested: Duration) -> Duration {
+    let cap = if smoke_mode() {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(500)
+    };
+    requested.min(cap)
+}
 
 /// Identifies one benchmark within a group.
 #[derive(Clone, Debug)]
@@ -85,7 +109,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            default_measurement_time: Duration::from_millis(300),
+            default_measurement_time: cap_budget(Duration::from_millis(300)),
         }
     }
 }
@@ -98,7 +122,7 @@ impl Criterion {
         BenchmarkGroup {
             _criterion: self,
             name,
-            measurement_time: Duration::from_millis(300),
+            measurement_time: cap_budget(Duration::from_millis(300)),
             sample_size: 10,
         }
     }
@@ -134,8 +158,9 @@ impl BenchmarkGroup<'_> {
     /// Sets the wall-clock budget per benchmark.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
         // The real criterion spends this long per benchmark; cap it so a
-        // full offline bench sweep stays fast.
-        self.measurement_time = d.min(Duration::from_millis(500));
+        // full offline bench sweep stays fast (and a `--smoke` run stays
+        // nearly instant).
+        self.measurement_time = cap_budget(d);
         self
     }
 
@@ -185,9 +210,11 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, storing the mean wall-clock duration per call.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
-        // Warmup.
+        // Warmup (one pass is enough under `--smoke`).
         black_box(f());
-        black_box(f());
+        if !smoke_mode() {
+            black_box(f());
+        }
 
         let budget = self.measurement_time;
         let start = Instant::now();

@@ -59,46 +59,57 @@ fn check_enum_run<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> Result<()
     Ok(())
 }
 
-fn exhaustive<E, P>(ex: E, proto: P, horizon: u32) -> usize
+/// Streams every run of the context through the spec check — no run set
+/// is ever collected, so even the ~100k-run FIP context checks in
+/// O(work item) memory.
+fn exhaustive<E, P>(ctx: Context<E, P>, horizon: u32) -> usize
 where
     E: InformationExchange + Sync,
     E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
-    let runs = enumerate_parallel(&ex, &proto, horizon, 10_000_000, Parallelism::Auto)
-        .expect("enumerable");
-    assert!(!runs.is_empty());
-    for run in &runs {
-        check_enum_run(&ex, run).unwrap_or_else(|e| panic!("{e}"));
-    }
-    runs.len()
+    let mut checked = 0usize;
+    let total = enumerate_into(
+        &ctx,
+        horizon,
+        10_000_000,
+        Parallelism::Auto,
+        &mut |run: EnumRun<E>| {
+            checked += 1;
+            check_enum_run(ctx.exchange(), &run).map_err(eba::core::types::EbaError::InvalidInput)
+        },
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(total, checked);
+    assert!(total > 0);
+    total
 }
 
 #[test]
 fn pmin_is_correct_on_every_run_n3_t1() {
     let params = Params::new(3, 1).unwrap();
-    let count = exhaustive(MinExchange::new(params), PMin::new(params), 4);
+    let count = exhaustive(Context::minimal(params), 4);
     assert!(count >= 64, "covered {count} distinct runs");
 }
 
 #[test]
 fn pmin_is_correct_on_every_run_n4_t2() {
     let params = Params::new(4, 2).unwrap();
-    let count = exhaustive(MinExchange::new(params), PMin::new(params), 5);
+    let count = exhaustive(Context::minimal(params), 5);
     assert!(count >= 1000, "covered {count} distinct runs");
 }
 
 #[test]
 fn pbasic_is_correct_on_every_run_n3_t1() {
     let params = Params::new(3, 1).unwrap();
-    let count = exhaustive(BasicExchange::new(params), PBasic::new(params), 4);
+    let count = exhaustive(Context::basic(params), 4);
     assert!(count >= 100, "covered {count} distinct runs");
 }
 
 #[test]
 fn popt_is_correct_on_every_run_n3_t1() {
     let params = Params::new(3, 1).unwrap();
-    let count = exhaustive(FipExchange::new(params), POpt::new(params), 4);
+    let count = exhaustive(Context::fip(params), 4);
     assert!(count >= 90_000, "covered {count} distinct runs");
 }
 
@@ -108,8 +119,10 @@ fn popt_ablated_is_still_correct_n3_t1() {
     // (it is P0, which is correct in every EBA context — Prop 6.1).
     let params = Params::new(3, 1).unwrap();
     let count = exhaustive(
-        FipExchange::new(params),
-        POpt::without_common_knowledge(params),
+        Context::new(
+            FipExchange::new(params),
+            POpt::without_common_knowledge(params),
+        ),
         4,
     );
     assert!(count >= 90_000, "covered {count} distinct runs");
@@ -118,6 +131,6 @@ fn popt_ablated_is_still_correct_n3_t1() {
 #[test]
 fn pmin_is_correct_on_every_run_n5_t1() {
     let params = Params::new(5, 1).unwrap();
-    let count = exhaustive(MinExchange::new(params), PMin::new(params), 4);
+    let count = exhaustive(Context::minimal(params), 4);
     assert!(count >= 500, "covered {count} distinct runs");
 }

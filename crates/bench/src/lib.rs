@@ -1,9 +1,28 @@
+#![warn(missing_docs)]
+
 //! Shared scenario builders for the criterion benches.
 //!
 //! Each bench in `benches/` regenerates one of the paper's tables/figures
 //! (E1–E7) or measures engineering performance (`perf_scaling`); this
 //! little library keeps the scenario construction in one place so the
-//! benches measure protocol work, not setup boilerplate.
+//! benches measure protocol work, not setup boilerplate. Everything runs
+//! through the first-class `Context`/`Scenario` API, so a bench can
+//! select any registered stack — model-qualified or not — by name:
+//!
+//! ```
+//! use eba_bench::{run_context, run_stack, silent_scenario};
+//! use eba_core::prelude::*;
+//!
+//! // Example 7.1 at (n, t, k) = (8, 3, 3): P_opt decides in round 3.
+//! let (params, pattern, inits) = silent_scenario(8, 3, 3);
+//! assert_eq!(run_stack("E_fip/P_opt", params, &pattern, &inits), 3);
+//! // The same stack over the crash environment, against a
+//! // crash-disciplined adversary.
+//! let faulty: AgentSet = (0..3).map(AgentId::new).collect();
+//! let crashes = crashed_from_start_pattern(params, faulty, 6).unwrap();
+//! let ctx = Context::fip(params).with_model(FailureModel::Crash);
+//! assert_eq!(run_context(&ctx, &crashes, &inits), 3);
+//! ```
 
 use eba_core::prelude::*;
 use eba_sim::prelude::*;

@@ -20,18 +20,20 @@
 use crate::exchange::{
     BasicExchange, FipExchange, InformationExchange, MinExchange, NaiveExchange,
 };
-use crate::failures::FailurePattern;
+use crate::failures::{FailureModel, FailurePattern};
 use crate::protocols::{ActionProtocol, NaiveZeroBiased, PBasic, PMin, POpt};
 use crate::types::{EbaError, Params, Value};
 
 /// A context `γ`: an information-exchange protocol plus the action
-/// protocol under study, over the `SO(t)` environment fixed by the
-/// exchange's [`Params`].
+/// protocol under study, over the failure environment fixed by the
+/// exchange's [`Params`] and the context's [`FailureModel`] (the paper's
+/// `SO(t)` by default).
 ///
 /// `Context` is the unit of composition for every downstream API: the
 /// `eba-sim` `Scenario` builder runs and enumerates contexts, the
 /// epistemic model checker builds interpreted systems from them, and the
-/// registry ([`NamedStack`]) names the paper's four stacks.
+/// registry ([`NamedStack`]) names the paper's four stacks — optionally
+/// model-qualified, e.g. `"E_fip/P_opt@crash"`.
 ///
 /// ```
 /// use eba_core::prelude::*;
@@ -40,7 +42,10 @@ use crate::types::{EbaError, Params, Value};
 /// let params = Params::new(4, 1)?;
 /// let ctx = Context::basic(params);
 /// assert_eq!(ctx.name(), "E_basic/P_basic");
-/// assert_eq!(ctx.params(), params);
+/// assert_eq!(ctx.model(), FailureModel::SendingOmission);
+/// let crashy = ctx.with_model(FailureModel::Crash);
+/// assert_eq!(crashy.qualified_name(), "E_basic/P_basic@crash");
+/// assert_eq!(crashy.params(), params);
 /// # Ok(())
 /// # }
 /// ```
@@ -48,6 +53,7 @@ use crate::types::{EbaError, Params, Value};
 pub struct Context<E, P> {
     exchange: E,
     protocol: P,
+    model: FailureModel,
 }
 
 impl<E, P> Context<E, P>
@@ -55,9 +61,27 @@ where
     E: InformationExchange,
     P: ActionProtocol<E>,
 {
-    /// Bundles an exchange and an action protocol into a context.
+    /// Bundles an exchange and an action protocol into a context over the
+    /// default sending-omissions environment; select another failure
+    /// model with [`with_model`](Context::with_model).
     pub fn new(exchange: E, protocol: P) -> Self {
-        Context { exchange, protocol }
+        Context {
+            exchange,
+            protocol,
+            model: FailureModel::SendingOmission,
+        }
+    }
+
+    /// The same stack over a different failure environment.
+    #[must_use]
+    pub fn with_model(mut self, model: FailureModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The failure model of the environment (`SO(t)` unless overridden).
+    pub fn model(&self) -> FailureModel {
+        self.model
     }
 
     /// The information-exchange protocol `E`.
@@ -75,12 +99,21 @@ where
         self.exchange.params()
     }
 
-    /// The stack name, `"<exchange>/<protocol>"` (e.g. `"E_min/P_min"`).
+    /// The stack name, `"<exchange>/<protocol>"` (e.g. `"E_min/P_min"`),
+    /// without the model qualifier.
     pub fn name(&self) -> String {
         format!("{}/{}", self.exchange.name(), self.protocol.name())
     }
 
-    /// Splits the context back into its parts.
+    /// The model-qualified stack name: [`name`](Context::name) plus the
+    /// model suffix (e.g. `"E_min/P_min@crash"`); identical to the plain
+    /// name for the default sending-omissions model, so pre-model names
+    /// keep meaning what they always meant.
+    pub fn qualified_name(&self) -> String {
+        format!("{}{}", self.name(), self.model.suffix())
+    }
+
+    /// Splits the context back into its parts (the model is dropped).
     pub fn into_parts(self) -> (E, P) {
         (self.exchange, self.protocol)
     }
@@ -115,7 +148,11 @@ impl Context<NaiveExchange, NaiveZeroBiased> {
     }
 }
 
-/// The names of the registered stacks, in registry order.
+/// The base names of the registered stacks, in registry order. Each may
+/// be qualified with a failure model as `"<stack>@<model>"` (e.g.
+/// `"E_fip/P_opt@crash"`, see
+/// [`MODEL_NAMES`](crate::failures::MODEL_NAMES)); the unqualified name
+/// selects the paper's sending-omissions environment.
 pub const STACK_NAMES: [&str; 4] = [
     "E_min/P_min",
     "E_basic/P_basic",
@@ -157,7 +194,12 @@ pub trait StackVisitor {
 /// let params = Params::new(3, 1)?;
 /// let stack = NamedStack::by_name("E_fip/P_opt", params)?;
 /// assert_eq!(stack.name(), "E_fip/P_opt");
+/// // Model-qualified entries select another failure environment:
+/// let crashy = NamedStack::by_name("E_fip/P_opt@crash", params)?;
+/// assert_eq!(crashy.model(), FailureModel::Crash);
+/// assert_eq!(crashy.qualified_name(), "E_fip/P_opt@crash");
 /// assert!(NamedStack::by_name("E_min/P_basic", params).is_err());
+/// assert!(NamedStack::by_name("E_min/P_min@byzantine", params).is_err());
 /// # Ok(())
 /// # }
 /// ```
@@ -175,31 +217,62 @@ pub enum NamedStack {
 
 impl NamedStack {
     /// Builds the stack registered under `name` at the given parameters.
+    /// `name` is a base stack name from [`STACK_NAMES`], optionally
+    /// qualified with a failure model: `"E_basic/P_basic@crash"`,
+    /// `"E_fip/P_opt@general_omission"`, … (unqualified names select the
+    /// default sending-omissions environment).
     ///
     /// # Errors
     ///
     /// Returns [`EbaError::InvalidInput`] naming the registered stacks if
-    /// `name` is not one of [`STACK_NAMES`].
+    /// the base name is not one of [`STACK_NAMES`], or the known models
+    /// if the `@model` qualifier is unrecognized.
     pub fn by_name(name: &str, params: Params) -> Result<NamedStack, EbaError> {
-        match name {
-            "E_min/P_min" => Ok(NamedStack::Min(Context::minimal(params))),
-            "E_basic/P_basic" => Ok(NamedStack::Basic(Context::basic(params))),
-            "E_fip/P_opt" => Ok(NamedStack::Fip(Context::fip(params))),
-            "E_naive/P_naive" => Ok(NamedStack::Naive(Context::naive(params))),
-            other => Err(EbaError::InvalidInput(format!(
-                "unknown stack {other:?}; registered stacks: {}",
-                STACK_NAMES.join(", ")
-            ))),
-        }
+        let (base, model) = match name.split_once('@') {
+            Some((base, model)) => (base, FailureModel::by_name(model)?),
+            None => (name, FailureModel::SendingOmission),
+        };
+        let stack = match base {
+            "E_min/P_min" => NamedStack::Min(Context::minimal(params).with_model(model)),
+            "E_basic/P_basic" => NamedStack::Basic(Context::basic(params).with_model(model)),
+            "E_fip/P_opt" => NamedStack::Fip(Context::fip(params).with_model(model)),
+            "E_naive/P_naive" => NamedStack::Naive(Context::naive(params).with_model(model)),
+            other => {
+                return Err(EbaError::InvalidInput(format!(
+                    "unknown stack {other:?}; registered stacks: {} \
+                     (optionally qualified as <stack>@<model>)",
+                    STACK_NAMES.join(", ")
+                )))
+            }
+        };
+        Ok(stack)
     }
 
-    /// The registered name of this stack.
+    /// The registered base name of this stack (without the model
+    /// qualifier; see [`qualified_name`](NamedStack::qualified_name)).
     pub fn name(&self) -> &'static str {
         match self {
             NamedStack::Min(_) => STACK_NAMES[0],
             NamedStack::Basic(_) => STACK_NAMES[1],
             NamedStack::Fip(_) => STACK_NAMES[2],
             NamedStack::Naive(_) => STACK_NAMES[3],
+        }
+    }
+
+    /// The model-qualified registry name, round-tripping through
+    /// [`by_name`](NamedStack::by_name): `"E_basic/P_basic@crash"`, or
+    /// the bare base name for the default sending-omissions model.
+    pub fn qualified_name(&self) -> String {
+        format!("{}{}", self.name(), self.model().suffix())
+    }
+
+    /// The failure model of this stack's environment.
+    pub fn model(&self) -> FailureModel {
+        match self {
+            NamedStack::Min(c) => c.model(),
+            NamedStack::Basic(c) => c.model(),
+            NamedStack::Fip(c) => c.model(),
+            NamedStack::Naive(c) => c.model(),
         }
     }
 
@@ -230,7 +303,13 @@ impl NamedStack {
 /// Shared by the lockstep runner, the `Scenario` builder, and the
 /// transport cluster so all entry points reject malformed inputs with the
 /// same message: each problem names the offending argument and states the
-/// expected shape.
+/// expected shape. Besides the shapes, the pattern's recorded drops are
+/// checked against the pattern's **own** [`FailureModel`] — catching, for
+/// example, a hand-built crash pattern whose sender resumes sending after
+/// its crash round (a discipline [`FailurePattern::drop_message`] cannot
+/// enforce per drop). Entry points that pin a *scenario* model (the
+/// `Scenario` builder, the transport cluster) additionally check the
+/// pattern against that model via [`FailureModel::admits_pattern`].
 ///
 /// # Errors
 ///
@@ -255,11 +334,27 @@ pub fn validate_scenario_shape(
             pattern.params(),
             params
         ));
+    } else if let Err(e) = pattern.model().admits_pattern(pattern) {
+        problems.push(format!(
+            "pattern: inadmissible under its own {} model ({})",
+            pattern.model(),
+            error_message(&e)
+        ));
     }
     if problems.is_empty() {
         Ok(())
     } else {
         Err(EbaError::InvalidInput(problems.join("; ")))
+    }
+}
+
+/// The payload of an [`EbaError`], without the variant prefix its
+/// `Display` impl adds — for splicing one error's message into another.
+pub fn error_message(e: &EbaError) -> String {
+    match e {
+        EbaError::InvalidParams(msg)
+        | EbaError::InvalidPattern(msg)
+        | EbaError::InvalidInput(msg) => msg.clone(),
     }
 }
 
@@ -316,6 +411,71 @@ mod tests {
             let stack = NamedStack::by_name(name, params()).unwrap();
             assert_eq!(stack.visit(NameOf), name);
         }
+    }
+
+    #[test]
+    fn qualified_names_round_trip_through_the_registry() {
+        use crate::failures::MODEL_NAMES;
+        for base in STACK_NAMES {
+            for model_name in MODEL_NAMES {
+                let model = FailureModel::by_name(model_name).unwrap();
+                let qualified = format!("{base}{}", model.suffix());
+                let stack = NamedStack::by_name(&qualified, params()).unwrap();
+                assert_eq!(stack.name(), base);
+                assert_eq!(stack.model(), model);
+                assert_eq!(stack.qualified_name(), qualified);
+                // Explicit `@sending_omission` also parses, to the same stack.
+                let explicit = format!("{base}@{model_name}");
+                assert_eq!(
+                    NamedStack::by_name(&explicit, params()).unwrap().model(),
+                    model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_model_qualifier_is_rejected_with_the_model_list() {
+        let err = NamedStack::by_name("E_min/P_min@byzantine", params()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("general_omission"), "{msg}");
+    }
+
+    #[test]
+    fn with_model_rides_on_copy_contexts() {
+        let ctx = Context::fip(params()).with_model(FailureModel::GeneralOmission);
+        assert_eq!(ctx.model(), FailureModel::GeneralOmission);
+        assert_eq!(ctx.qualified_name(), "E_fip/P_opt@general_omission");
+        // `name()` stays the unqualified stack name.
+        assert_eq!(ctx.name(), "E_fip/P_opt");
+    }
+
+    #[test]
+    fn shape_validation_rejects_model_inconsistent_patterns() {
+        // A crash-model pattern whose sender revives violates the crash
+        // discipline; `drop_message` cannot see that, validation does.
+        let p = params();
+        let faulty = crate::types::AgentSet::singleton(crate::types::AgentId::new(0));
+        let mut pat =
+            FailurePattern::new_in(FailureModel::Crash, p, faulty.complement(p.n())).unwrap();
+        pat.drop_message(
+            0,
+            crate::types::AgentId::new(0),
+            crate::types::AgentId::new(1),
+        )
+        .unwrap();
+        pat.drop_message(
+            2,
+            crate::types::AgentId::new(0),
+            crate::types::AgentId::new(1),
+        )
+        .unwrap();
+        let err = validate_scenario_shape(p, &pat, &[Value::One; 4]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("inadmissible under its own crash model"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::fmt;
 
 use crate::types::{AgentId, AgentSet, EbaError, Params};
 
+use super::FailureModel;
+
 /// Classification of a failure pattern.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PatternClass {
@@ -20,9 +22,13 @@ pub enum PatternClass {
 /// A failure pattern `(N, F)` from Section 3 of the paper.
 ///
 /// `N` is the set of nonfaulty agents, and `F(m, i, j)` says whether the
-/// message sent from `i` to `j` in round `m + 1` is delivered. The
-/// sending-omissions model `SO(t)` requires `|Agt − N| ≤ t` and that
-/// `F(m, i, j) = 0` only when `i` is faulty.
+/// message sent from `i` to `j` in round `m + 1` is delivered. Which
+/// drops [`drop_message`](FailurePattern::drop_message) accepts is
+/// governed by the pattern's [`FailureModel`]: the default
+/// ([`FailurePattern::new`]) is the paper's sending-omissions model
+/// `SO(t)`, which requires `|Agt − N| ≤ t` and that `F(m, i, j) = 0`
+/// only when `i` is faulty; [`FailurePattern::new_in`] selects another
+/// model (e.g. general omissions, which also admits receive-side drops).
 ///
 /// Drops are stored sparsely per round; rounds beyond the recorded horizon
 /// deliver everything.
@@ -46,19 +52,54 @@ pub enum PatternClass {
 pub struct FailurePattern {
     params: Params,
     nonfaulty: AgentSet,
+    /// The model governing which drops this pattern accepts.
+    model: FailureModel,
     /// `drops[m * n + from]` = bitmask of receivers whose round-`(m+1)`
     /// message from `from` is dropped. Grows on demand.
     drops: Vec<u128>,
 }
 
 impl FailurePattern {
-    /// Creates a pattern with the given nonfaulty set and no drops.
+    /// Creates a sending-omissions (`SO(t)`) pattern with the given
+    /// nonfaulty set and no drops — the paper's model and the historical
+    /// behavior of this type. Use [`FailurePattern::new_in`] for another
+    /// [`FailureModel`].
     ///
     /// # Errors
     ///
     /// Returns [`EbaError::InvalidPattern`] if more than `t` agents are
     /// faulty or `nonfaulty` mentions agents outside `0..n`.
     pub fn new(params: Params, nonfaulty: AgentSet) -> Result<Self, EbaError> {
+        Self::new_in(FailureModel::SendingOmission, params, nonfaulty)
+    }
+
+    /// Creates a pattern governed by `model` with the given nonfaulty set
+    /// and no drops.
+    ///
+    /// ```
+    /// use eba_core::prelude::*;
+    ///
+    /// # fn main() -> Result<(), EbaError> {
+    /// let params = Params::new(4, 1)?;
+    /// let nonfaulty = AgentSet::singleton(AgentId::new(0)).complement(4);
+    /// let mut pat =
+    ///     FailurePattern::new_in(FailureModel::GeneralOmission, params, nonfaulty)?;
+    /// // Receive-side drop: nonfaulty 1 → faulty 0 may be lost under GO(t).
+    /// pat.drop_message(0, AgentId::new(1), AgentId::new(0))?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidPattern`] if more than `t` agents are
+    /// faulty, `nonfaulty` mentions agents outside `0..n`, or the model is
+    /// [`FailureModel::FailureFree`] and any agent is faulty.
+    pub fn new_in(
+        model: FailureModel,
+        params: Params,
+        nonfaulty: AgentSet,
+    ) -> Result<Self, EbaError> {
         let all = AgentSet::full(params.n());
         if !nonfaulty.is_subset(all) {
             return Err(EbaError::InvalidPattern(format!(
@@ -73,20 +114,35 @@ impl FailurePattern {
                 params.t()
             )));
         }
+        if !model.admits_faulty_count(faulty_count) {
+            return Err(EbaError::InvalidPattern(format!(
+                "the {model} model admits no faulty agents, got {faulty_count}"
+            )));
+        }
         Ok(FailurePattern {
             params,
             nonfaulty,
+            model,
             drops: Vec::new(),
         })
     }
 
-    /// The failure-free pattern: all agents nonfaulty, no drops.
+    /// The failure-free pattern: all agents nonfaulty, no drops. It is
+    /// admissible in every model; the pattern itself is governed by the
+    /// default sending-omissions model (any attempted drop fails anyway,
+    /// since no agent is faulty).
     pub fn failure_free(params: Params) -> Self {
         FailurePattern {
             params,
             nonfaulty: AgentSet::full(params.n()),
+            model: FailureModel::SendingOmission,
             drops: Vec::new(),
         }
+    }
+
+    /// The model governing [`drop_message`](FailurePattern::drop_message).
+    pub fn model(&self) -> FailureModel {
+        self.model
     }
 
     /// The instance parameters.
@@ -119,17 +175,32 @@ impl FailurePattern {
         }
     }
 
-    /// Drops the message from `from` to `to` in round `m + 1`.
+    /// Drops the message from `from` to `to` in round `m + 1`, if the
+    /// pattern's [`FailureModel`] admits that drop.
     ///
     /// # Errors
     ///
-    /// Returns [`EbaError::InvalidPattern`] if `from` is nonfaulty: in the
-    /// sending-omissions model only faulty senders may omit messages.
+    /// Returns [`EbaError::InvalidPattern`] if the model rejects the drop:
+    /// under sending omissions (and crash) only faulty senders may omit
+    /// messages; under general omissions one endpoint must be faulty;
+    /// under the failure-free model no drop is ever admissible. (The crash
+    /// model's cross-round silence discipline is not checked per drop —
+    /// validate a finished pattern with
+    /// [`FailureModel::admits_pattern`].)
     pub fn drop_message(&mut self, m: u32, from: AgentId, to: AgentId) -> Result<(), EbaError> {
-        if !self.is_faulty(from) {
-            return Err(EbaError::InvalidPattern(format!(
-                "cannot drop a message from nonfaulty sender {from}"
-            )));
+        if !self
+            .model
+            .admits_drop(self.is_faulty(from), self.is_faulty(to))
+        {
+            return Err(EbaError::InvalidPattern(match self.model {
+                FailureModel::GeneralOmission => {
+                    format!("cannot drop a message between nonfaulty agents {from} and {to}")
+                }
+                FailureModel::FailureFree => {
+                    format!("the failure_free model admits no drops ({from} to {to})")
+                }
+                _ => format!("cannot drop a message from nonfaulty sender {from}"),
+            }));
         }
         let n = self.params.n();
         let idx = m as usize * n + from.index();
@@ -213,9 +284,10 @@ impl fmt::Debug for FailurePattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "FailurePattern {{ n: {}, t: {}, faulty: {}, drops: {} }}",
+            "FailurePattern {{ n: {}, t: {}, model: {}, faulty: {}, drops: {} }}",
             self.params.n(),
             self.params.t(),
+            self.model,
             self.faulty(),
             self.count_drops()
         )
@@ -261,6 +333,41 @@ mod tests {
         let pat = FailurePattern::new(params(), nf).unwrap();
         assert!(pat.is_faulty(a(0)));
         assert_eq!(pat.classify(), PatternClass::FailureFree);
+    }
+
+    #[test]
+    fn general_omission_admits_receive_side_drops() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let mut go = FailurePattern::new_in(FailureModel::GeneralOmission, params(), nf).unwrap();
+        // Receive side: nonfaulty 1 → faulty 0 may be dropped under GO(t)…
+        assert!(go.drop_message(0, a(1), a(0)).is_ok());
+        // …but the same drop is rejected by the SO(t) default…
+        let mut so = FailurePattern::new(params(), nf).unwrap();
+        let err = so.drop_message(0, a(1), a(0)).unwrap_err();
+        assert!(err.to_string().contains("nonfaulty sender"), "{err}");
+        // …and no model admits drops between two nonfaulty agents.
+        let err = go.drop_message(0, a(1), a(2)).unwrap_err();
+        assert!(err.to_string().contains("nonfaulty agents"), "{err}");
+    }
+
+    #[test]
+    fn failure_free_model_admits_no_drops_or_faulty_sets() {
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        assert!(FailurePattern::new_in(FailureModel::FailureFree, params(), nf).is_err());
+        let mut pat =
+            FailurePattern::new_in(FailureModel::FailureFree, params(), AgentSet::full(4)).unwrap();
+        let err = pat.drop_message(0, a(0), a(1)).unwrap_err();
+        assert!(err.to_string().contains("admits no drops"), "{err}");
+    }
+
+    #[test]
+    fn patterns_report_their_model() {
+        let pat = FailurePattern::failure_free(params());
+        assert_eq!(pat.model(), FailureModel::SendingOmission);
+        let nf: AgentSet = [1, 2, 3].into_iter().map(a).collect();
+        let go = FailurePattern::new_in(FailureModel::GeneralOmission, params(), nf).unwrap();
+        assert_eq!(go.model(), FailureModel::GeneralOmission);
+        assert!(format!("{go:?}").contains("general_omission"));
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Adversary constructors and randomized samplers.
+//! Adversary constructors and randomized samplers, parameterized by
+//! [`FailureModel`].
 
 use rand::seq::IteratorRandom;
 use rand::Rng;
 
 use crate::types::{AgentSet, EbaError, Params};
 
-use super::FailurePattern;
+use super::{FailureModel, FailurePattern};
 
 /// Builds the "silent adversary" of Example 7.1: every agent in `faulty`
 /// sends no messages to other agents in rounds `1..=rounds` (self-delivery
@@ -24,6 +25,62 @@ pub fn silent_pattern(
     let mut pat = FailurePattern::new(params, faulty.complement(params.n()))?;
     for agent in faulty.iter() {
         pat.silence_agent(agent, 0..rounds, false)?;
+    }
+    Ok(pat)
+}
+
+/// Builds the general-omission "isolation adversary": every message *to or
+/// from* an agent in `faulty` is dropped in rounds `1..=rounds`
+/// (self-delivery is kept). Nonfaulty agents neither hear from nor reach
+/// the isolated agents — the receive-side counterpart of
+/// [`silent_pattern`], admissible only under
+/// [`FailureModel::GeneralOmission`].
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidPattern`] if `faulty` has more than `t`
+/// members.
+pub fn isolation_pattern(
+    params: Params,
+    faulty: AgentSet,
+    rounds: u32,
+) -> Result<FailurePattern, EbaError> {
+    let mut pat = FailurePattern::new_in(
+        FailureModel::GeneralOmission,
+        params,
+        faulty.complement(params.n()),
+    )?;
+    for m in 0..rounds {
+        for from in params.agents() {
+            for to in params.agents() {
+                if from != to && (faulty.contains(from) || faulty.contains(to)) {
+                    pat.drop_message(m, from, to)?;
+                }
+            }
+        }
+    }
+    Ok(pat)
+}
+
+/// Builds a crash-from-the-start pattern: every agent in `faulty` crashes
+/// before round 1, sending nothing — to anyone, itself included — in
+/// rounds `1..=rounds`. Unlike [`silent_pattern`] (which keeps
+/// self-delivery), the result satisfies the crash discipline checked by
+/// [`FailureModel::Crash`]`::admits_pattern`.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidPattern`] if `faulty` has more than `t`
+/// members.
+pub fn crashed_from_start_pattern(
+    params: Params,
+    faulty: AgentSet,
+    rounds: u32,
+) -> Result<FailurePattern, EbaError> {
+    let mut pat =
+        FailurePattern::new_in(FailureModel::Crash, params, faulty.complement(params.n()))?;
+    for agent in faulty.iter() {
+        pat.silence_agent(agent, 0..rounds, true)?;
     }
     Ok(pat)
 }
@@ -51,7 +108,8 @@ pub fn crash_pattern<R: Rng + ?Sized>(
             faulty.len()
         )));
     }
-    let mut pat = FailurePattern::new(params, faulty.complement(params.n()))?;
+    let mut pat =
+        FailurePattern::new_in(FailureModel::Crash, params, faulty.complement(params.n()))?;
     for (agent, &cr) in faulty.iter().zip(crash_round) {
         // During the crashing round the agent may send to an arbitrary
         // prefix-free subset of agents ("possibly after sending some
@@ -68,11 +126,167 @@ pub fn crash_pattern<R: Rng + ?Sized>(
     Ok(pat)
 }
 
-/// A randomized sending-omissions adversary.
+/// A randomized adversary for any [`FailureModel`].
 ///
-/// Samples a faulty set of size at most `t` and drops each message sent by
-/// a faulty agent independently with probability `drop_prob`, over rounds
-/// `1..=horizon`.
+/// Samples a faulty set of size at most `t` (always empty under
+/// [`FailureModel::FailureFree`]) and drops, over rounds `1..=horizon`,
+/// whatever the model admits:
+///
+/// * `SendingOmission` — each message *from* a faulty agent,
+///   independently with probability `drop_prob` (the legacy
+///   [`OmissionSampler`] behavior);
+/// * `GeneralOmission` — each message with a faulty endpoint,
+///   independently with probability `drop_prob`;
+/// * `Crash` — each faulty agent picks a uniform crashing round, drops
+///   each of that round's messages with probability `drop_prob`, and is
+///   silent (self included) afterwards;
+/// * `FailureFree` — nothing, ever.
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let params = Params::new(6, 2)?;
+/// let sampler = AdversarySampler::new(FailureModel::Crash, params, 5, 0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let pat = sampler.sample(&mut rng);
+/// assert!(pat.faulty().len() <= 2);
+/// // Every sampled pattern is admissible in its model:
+/// assert!(FailureModel::Crash.admits_pattern(&pat).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdversarySampler {
+    model: FailureModel,
+    params: Params,
+    horizon: u32,
+    drop_prob: f64,
+    drop_self: bool,
+}
+
+impl AdversarySampler {
+    /// Creates a sampler for `model` over rounds `1..=horizon` with the
+    /// given per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is not within `[0, 1]`.
+    pub fn new(model: FailureModel, params: Params, horizon: u32, drop_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability {drop_prob} outside [0, 1]"
+        );
+        AdversarySampler {
+            model,
+            params,
+            horizon,
+            drop_prob,
+            drop_self: false,
+        }
+    }
+
+    /// The failure model this sampler draws adversaries from.
+    pub fn model(&self) -> FailureModel {
+        self.model
+    }
+
+    /// Also drop faulty agents' messages to themselves (off by default).
+    /// Under [`FailureModel::Crash`] this only affects the crashing round
+    /// itself — from the round *after* the crash, self-delivery is always
+    /// lost, regardless of this setting.
+    #[must_use]
+    pub fn drop_self(mut self, yes: bool) -> Self {
+        self.drop_self = yes;
+        self
+    }
+
+    /// Samples a failure pattern. The faulty set size is uniform in
+    /// `0..=t` (always 0 under [`FailureModel::FailureFree`]); faulty
+    /// membership is uniform among agents.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FailurePattern {
+        if self.model == FailureModel::FailureFree {
+            return self.sample_with_faulty(AgentSet::empty(), rng);
+        }
+        let k = rng.random_range(0..=self.params.t());
+        let faulty: AgentSet = self
+            .params
+            .agents()
+            .choose_multiple(rng, k)
+            .into_iter()
+            .collect();
+        self.sample_with_faulty(faulty, rng)
+    }
+
+    /// Samples drops for a fixed faulty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty` has more than `t` members, or is nonempty under
+    /// [`FailureModel::FailureFree`] (internal contract violations; use
+    /// [`FailurePattern::new_in`] for fallible construction).
+    pub fn sample_with_faulty<R: Rng + ?Sized>(
+        &self,
+        faulty: AgentSet,
+        rng: &mut R,
+    ) -> FailurePattern {
+        let mut pat =
+            FailurePattern::new_in(self.model, self.params, faulty.complement(self.params.n()))
+                .expect("faulty set admissible in the model");
+        match self.model {
+            FailureModel::FailureFree => {}
+            FailureModel::SendingOmission => {
+                for m in 0..self.horizon {
+                    for from in faulty.iter() {
+                        for to in self.params.agents() {
+                            if (to != from || self.drop_self) && rng.random_bool(self.drop_prob) {
+                                pat.drop_message(m, from, to).expect("sender is faulty");
+                            }
+                        }
+                    }
+                }
+            }
+            FailureModel::GeneralOmission => {
+                for m in 0..self.horizon {
+                    for from in self.params.agents() {
+                        for to in self.params.agents() {
+                            let endpoint_faulty = faulty.contains(from) || faulty.contains(to);
+                            if endpoint_faulty
+                                && (to != from || self.drop_self)
+                                && rng.random_bool(self.drop_prob)
+                            {
+                                pat.drop_message(m, from, to).expect("endpoint is faulty");
+                            }
+                        }
+                    }
+                }
+            }
+            FailureModel::Crash if self.horizon > 0 => {
+                for from in faulty.iter() {
+                    let cr = rng.random_range(0..self.horizon);
+                    for to in self.params.agents() {
+                        if (to != from || self.drop_self) && rng.random_bool(self.drop_prob) {
+                            pat.drop_message(cr, from, to).expect("sender is faulty");
+                        }
+                    }
+                    if cr + 1 < self.horizon {
+                        pat.silence_agent(from, cr + 1..self.horizon, true)
+                            .expect("sender is faulty");
+                    }
+                }
+            }
+            // Zero rounds to crash in: like the other models at
+            // horizon 0, nothing is ever dropped.
+            FailureModel::Crash => {}
+        }
+        pat
+    }
+}
+
+/// The legacy randomized sending-omissions adversary: a thin veneer over
+/// [`AdversarySampler`] with [`FailureModel::SendingOmission`], kept so
+/// pre-model call sites read unchanged.
 ///
 /// ```
 /// use eba_core::prelude::*;
@@ -88,50 +302,34 @@ pub fn crash_pattern<R: Rng + ?Sized>(
 /// # }
 /// ```
 #[derive(Clone, Debug)]
-pub struct OmissionSampler {
-    params: Params,
-    horizon: u32,
-    drop_prob: f64,
-    drop_self: bool,
-}
+pub struct OmissionSampler(AdversarySampler);
 
 impl OmissionSampler {
-    /// Creates a sampler over rounds `1..=horizon` with the given
-    /// per-message drop probability.
+    /// Creates a sending-omissions sampler over rounds `1..=horizon` with
+    /// the given per-message drop probability.
     ///
     /// # Panics
     ///
     /// Panics if `drop_prob` is not within `[0, 1]`.
     pub fn new(params: Params, horizon: u32, drop_prob: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&drop_prob),
-            "drop probability {drop_prob} outside [0, 1]"
-        );
-        OmissionSampler {
+        OmissionSampler(AdversarySampler::new(
+            FailureModel::SendingOmission,
             params,
             horizon,
             drop_prob,
-            drop_self: false,
-        }
+        ))
     }
 
     /// Also drop faulty agents' messages to themselves (off by default).
-    pub fn drop_self(mut self, yes: bool) -> Self {
-        self.drop_self = yes;
-        self
+    #[must_use]
+    pub fn drop_self(self, yes: bool) -> Self {
+        OmissionSampler(self.0.drop_self(yes))
     }
 
     /// Samples a failure pattern. The faulty set size is uniform in
     /// `0..=t`; faulty membership is uniform among agents.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FailurePattern {
-        let k = rng.random_range(0..=self.params.t());
-        let faulty: AgentSet = self
-            .params
-            .agents()
-            .choose_multiple(rng, k)
-            .into_iter()
-            .collect();
-        self.sample_with_faulty(faulty, rng)
+        self.0.sample(rng)
     }
 
     /// Samples drops for a fixed faulty set.
@@ -145,18 +343,7 @@ impl OmissionSampler {
         faulty: AgentSet,
         rng: &mut R,
     ) -> FailurePattern {
-        let mut pat = FailurePattern::new(self.params, faulty.complement(self.params.n()))
-            .expect("faulty set within t");
-        for m in 0..self.horizon {
-            for from in faulty.iter() {
-                for to in self.params.agents() {
-                    if (to != from || self.drop_self) && rng.random_bool(self.drop_prob) {
-                        pat.drop_message(m, from, to).expect("sender is faulty");
-                    }
-                }
-            }
-        }
-        pat
+        self.0.sample_with_faulty(faulty, rng)
     }
 }
 
@@ -208,6 +395,35 @@ mod tests {
     }
 
     #[test]
+    fn isolation_pattern_cuts_both_directions() {
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let pat = isolation_pattern(params(), faulty, 3).unwrap();
+        for m in 0..3 {
+            // Send side and receive side both cut; self-delivery kept.
+            assert!(!pat.delivers(m, AgentId::new(0), AgentId::new(1)));
+            assert!(!pat.delivers(m, AgentId::new(1), AgentId::new(0)));
+            assert!(pat.delivers(m, AgentId::new(0), AgentId::new(0)));
+            // Nonfaulty ↔ nonfaulty untouched.
+            assert!(pat.delivers(m, AgentId::new(1), AgentId::new(2)));
+        }
+        assert!(FailureModel::GeneralOmission.admits_pattern(&pat).is_ok());
+        assert!(FailureModel::SendingOmission.admits_pattern(&pat).is_err());
+    }
+
+    #[test]
+    fn crashed_from_start_is_crash_disciplined() {
+        let faulty = AgentSet::singleton(AgentId::new(1));
+        let pat = crashed_from_start_pattern(params(), faulty, 4).unwrap();
+        for m in 0..4 {
+            for to in params().agents() {
+                assert!(!pat.delivers(m, AgentId::new(1), to));
+            }
+        }
+        assert!(FailureModel::Crash.admits_pattern(&pat).is_ok());
+        assert_eq!(pat.classify(), PatternClass::Crash);
+    }
+
+    #[test]
     fn omission_sampler_respects_t_and_prob_bounds() {
         let mut rng = StdRng::seed_from_u64(42);
         let sampler = OmissionSampler::new(params(), 4, 0.3);
@@ -245,6 +461,67 @@ mod tests {
             with_self.sample_with_faulty(faulty, &mut rng).count_drops(),
             15
         );
+    }
+
+    #[test]
+    fn adversary_sampler_stays_admissible_in_every_model() {
+        let mut rng = StdRng::seed_from_u64(0xEBA);
+        for model in [
+            FailureModel::FailureFree,
+            FailureModel::Crash,
+            FailureModel::SendingOmission,
+            FailureModel::GeneralOmission,
+        ] {
+            let sampler = AdversarySampler::new(model, params(), 4, 0.5);
+            for _ in 0..100 {
+                let pat = sampler.sample(&mut rng);
+                assert!(
+                    model.admits_pattern(&pat).is_ok(),
+                    "{model}: {pat:?} inadmissible"
+                );
+                assert_eq!(pat.model(), model);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_samples_stay_silent_after_their_first_drop_round() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampler = AdversarySampler::new(FailureModel::Crash, params(), 5, 0.6);
+        for _ in 0..200 {
+            let pat = sampler.sample(&mut rng);
+            let horizon = pat.drop_horizon();
+            for from in params().agents() {
+                let mut dropped_before = false;
+                for m in 0..horizon {
+                    let all = params().agents().all(|to| !pat.delivers(m, from, to));
+                    let any = params().agents().any(|to| !pat.delivers(m, from, to));
+                    assert!(!dropped_before || all, "{pat:?}: {from} revived at {m}");
+                    dropped_before |= any;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_omission_samples_only_touch_faulty_endpoints() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let sampler = AdversarySampler::new(FailureModel::GeneralOmission, params(), 4, 0.5);
+        let mut saw_receive_side = false;
+        for _ in 0..200 {
+            let pat = sampler.sample(&mut rng);
+            for m in 0..4 {
+                for from in params().agents() {
+                    for to in params().agents() {
+                        if !pat.delivers(m, from, to) {
+                            assert!(pat.is_faulty(from) || pat.is_faulty(to));
+                            saw_receive_side |= !pat.is_faulty(from);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_receive_side, "GO sampler never used its extra power");
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //! provides:
 //!
 //! * the shared vocabulary ([`types`]): agents, binary values, actions,
-//!   agent sets, and the `(n, t)` parameters of the `SO(t)` failure model;
+//!   agent sets, and the `(n, t)` parameters of the failure environment;
 //! * first-class contexts ([`context`]): [`context::Context`] bundles an
-//!   exchange with an action protocol, and the string-keyed registry
-//!   ([`context::NamedStack`]) builds the paper's four stacks by name;
-//! * the failure model ([`failures`]): failure patterns `(N, F)` for
-//!   sending-omission failures, crash patterns as a special case, and
-//!   adversary samplers;
+//!   exchange with an action protocol over a selectable failure model,
+//!   and the string-keyed registry ([`context::NamedStack`]) builds the
+//!   paper's four stacks by name — optionally model-qualified, e.g.
+//!   `"E_fip/P_opt@crash"`;
+//! * the pluggable failure models ([`failures`]):
+//!   [`failures::FailureModel`] (failure-free / crash / sending-omission /
+//!   general-omission), failure patterns `(N, F)` governed by a model,
+//!   and model-parameterized adversary samplers
+//!   ([`failures::AdversarySampler`]);
 //! * three information-exchange protocols from the paper ([`exchange`]):
 //!   the minimal exchange `E_min`, the basic exchange `E_basic`, and the
 //!   full-information exchange `E_fip` built on communication graphs, plus
@@ -34,18 +38,21 @@
 //!
 //! # Example
 //!
-//! Build the basic exchange and action protocol for 5 agents tolerating 2
-//! omission-faulty agents:
+//! Contexts are the entry point everything downstream (the `eba-sim`
+//! `Scenario` builder, the model checker, the transport) composes over.
+//! Build the basic stack for 5 agents tolerating 2 omission-faulty
+//! agents, then the same stack over the crash environment:
 //!
 //! ```
 //! use eba_core::prelude::*;
 //!
 //! # fn main() -> Result<(), EbaError> {
 //! let params = Params::new(5, 2)?;
-//! let exchange = BasicExchange::new(params);
-//! let protocol = PBasic::new(params);
-//! assert_eq!(exchange.name(), "E_basic");
-//! assert_eq!(protocol.name(), "P_basic");
+//! let ctx = Context::basic(params);
+//! assert_eq!(ctx.name(), "E_basic/P_basic");
+//! assert_eq!(ctx.model(), FailureModel::SendingOmission);
+//! let crashy = NamedStack::by_name("E_basic/P_basic@crash", params)?;
+//! assert_eq!(crashy.model(), FailureModel::Crash);
 //! # Ok(())
 //! # }
 //! ```
@@ -68,7 +75,8 @@ pub mod prelude {
         MinExchange, MinMsg, MinState, NaiveExchange, NaiveMsg, NaiveState,
     };
     pub use crate::failures::{
-        crash_pattern, silent_pattern, FailurePattern, OmissionSampler, PatternClass,
+        crash_pattern, crashed_from_start_pattern, isolation_pattern, silent_pattern,
+        AdversarySampler, FailureModel, FailurePattern, OmissionSampler, PatternClass, MODEL_NAMES,
     };
     pub use crate::graph::{CommGraph, EdgeLabel, FipAnalysis, PrefLabel};
     pub use crate::protocols::{ActionProtocol, NaiveZeroBiased, PBasic, PMin, POpt};

@@ -16,18 +16,25 @@
 //!   local state? This is the machine-checked form of Theorems 6.5, 6.6,
 //!   and A.21 on small instances.
 //!
+//! Knowledge is always relative to a context — including its failure
+//! model: systems are built from a first-class
+//! [`Context`](eba_core::context::Context) whose model fixes the run set
+//! being quantified over (`SO(t)` by default; `@crash`, `@failure_free`,
+//! `@general_omission` contexts yield different systems).
+//!
 //! # Example: verify Theorem 6.5 at `n = 3, t = 1`
 //!
 //! ```
 //! use eba_core::prelude::*;
 //! use eba_core::kbp::KnowledgeBasedProgram;
 //! use eba_epistemic::prelude::*;
+//! use eba_sim::prelude::*;
 //!
 //! # fn main() -> Result<(), EbaError> {
 //! let params = Params::new(3, 1)?;
-//! let ex = MinExchange::new(params);
+//! let ctx = Context::minimal(params);
+//! let system = InterpretedSystem::from_context(ctx, 4, 1_000_000, Parallelism::Auto)?;
 //! let proto = PMin::new(params);
-//! let system = InterpretedSystem::build(ex, &proto, 4, 1_000_000)?;
 //! let report = check_implements(&system, &proto, KnowledgeBasedProgram::P0);
 //! assert!(report.is_ok(), "P_min implements P0: {report:?}");
 //! # Ok(())

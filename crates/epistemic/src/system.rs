@@ -81,8 +81,11 @@ impl<E: InformationExchange> InterpretedSystem<E> {
 
     /// Builds the system for a first-class [`Context`] — the registry- and
     /// `Scenario`-friendly entry point: the context supplies both halves
-    /// of the stack, and the enumeration runs through
-    /// [`Scenario::enumerate`] with the given `parallelism`.
+    /// of the stack *and its failure model* (knowledge is quantified over
+    /// the model's run set, so an `@crash` context yields a different —
+    /// smaller — system than the default `SO(t)` one), and the
+    /// enumeration runs through [`Scenario::enumerate`] with the given
+    /// `parallelism`.
     ///
     /// ```
     /// use eba_core::prelude::*;
@@ -329,6 +332,36 @@ mod tests {
                 assert_eq!(a.states, b.states);
             }
         }
+    }
+
+    #[test]
+    fn from_context_quantifies_over_the_model_run_set() {
+        // Knowledge is relative to the failure model: a crash context's
+        // system has strictly fewer runs than the SO(t) one, a
+        // failure-free context exactly 2^n, and all are non-empty.
+        let params = Params::new(3, 1).unwrap();
+        let so = InterpretedSystem::from_context(Context::basic(params), 4, 1_000_000, {
+            Parallelism::Sequential
+        })
+        .unwrap();
+        let crash = InterpretedSystem::from_context(
+            Context::basic(params).with_model(FailureModel::Crash),
+            4,
+            1_000_000,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let free = InterpretedSystem::from_context(
+            Context::basic(params).with_model(FailureModel::FailureFree),
+            4,
+            1_000_000,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        assert_eq!(free.runs().len(), 8);
+        assert!(!crash.runs().is_empty());
+        assert!(crash.runs().len() < so.runs().len());
+        assert!(free.runs().len() < crash.runs().len());
     }
 
     #[test]

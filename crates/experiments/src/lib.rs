@@ -22,7 +22,31 @@
 //! The binary can also run a single registry-selected stack
 //! (`-- --stack E_basic/P_basic`, see [`stack_summary`]), exercising the
 //! string-keyed stack registry end to end: lockstep runs, the threaded
-//! transport, and a streamed exhaustive spec check.
+//! transport, and a streamed exhaustive spec check — and a failure-model
+//! comparison battery (`-- --model crash`, see [`model_battery`]) that
+//! measures decision time and validity of all four stacks under a
+//! selected [`FailureModel`](eba_core::failures::FailureModel). The two
+//! flags compose: `-- --stack E_fip/P_opt --model general` summarizes one
+//! stack in one model.
+//!
+//! Every experiment drives the protocols through the first-class
+//! `Context`/`Scenario` API:
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! // The scenario E4 sweeps: P_opt against Example 7.1's silent faulty.
+//! let params = Params::new(4, 1)?;
+//! let ctx = Context::fip(params);
+//! let silent = silent_pattern(params, AgentSet::singleton(AgentId::new(0)), 4)?;
+//! let nonfaulty = silent.nonfaulty();
+//! let trace = Scenario::of(&ctx).pattern(silent).inits(&[Value::One; 4]).run()?;
+//! assert_eq!(trace.max_decision_round(nonfaulty), Some(3));
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod e1_bits;
 pub mod e2_failure_free_zero;
@@ -33,6 +57,7 @@ pub mod e6_latency_curves;
 pub mod e7_implements;
 pub mod e8_bias_counterexample;
 pub mod e9_ck_onset;
+pub mod model_battery;
 pub mod stack_summary;
 pub mod table;
 

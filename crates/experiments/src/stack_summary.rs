@@ -1,10 +1,12 @@
 //! Registry-driven single-stack summary, behind the experiments CLI's
 //! `--stack <name>` flag.
 //!
-//! Given a registered stack name (see [`STACK_NAMES`]), this runs one
-//! standard battery — a failure-free run, a silent-faulty run, a threaded
-//! transport execution, and a **streamed** exhaustive spec check over
-//! every run of the context — and renders the results as a table. The
+//! Given a registered stack name (see [`STACK_NAMES`]), optionally
+//! model-qualified (`E_basic/P_basic@crash`), this runs one standard
+//! battery — a failure-free run, a run against the model's
+//! representative adversary, a threaded transport execution, and a
+//! **streamed** exhaustive spec check over every run of the context
+//! under its failure model — and renders the results as a table. The
 //! exhaustive check folds each run through a counting [`RunSink`], so
 //! even the ~100k-run `E_fip/P_opt` context is checked without
 //! materializing a `Vec` of trajectories.
@@ -13,6 +15,7 @@ use eba_core::prelude::*;
 use eba_sim::prelude::*;
 use eba_transport::run_named_cluster;
 
+use crate::model_battery::{measure_stack, CoreMeasurements};
 use crate::table::{cell, Table};
 
 /// Everything the battery measured for one stack.
@@ -30,8 +33,11 @@ pub struct StackSummary {
     pub bits_sent: u64,
     /// Wire bytes sent by the threaded cluster on the same scenario.
     pub wire_bytes: u64,
-    /// Max nonfaulty decision round with `t` silent faulty agents
-    /// (`None` when `t = 0` or `n − t < 2`).
+    /// Max nonfaulty decision round against the model's representative
+    /// adversary with `t` faulty agents — silence under sending
+    /// omissions, crash-from-the-start under crash, isolation under
+    /// general omissions (`None` when failure-free, `t = 0`, or
+    /// `n − t < 2`).
     pub silent_round: Option<u32>,
     /// Deduplicated runs streamed through the exhaustive spec check, or
     /// why the enumeration was skipped (instance too large, over-branchy
@@ -44,71 +50,21 @@ pub struct StackSummary {
 }
 
 /// Per-context half of the battery: everything that doesn't need a wire
-/// codec.
+/// codec — the shared core of [`measure_stack`], with a larger run cap
+/// so the ~98k-run `E_fip/P_opt` `SO(1)` context is checked in full.
 struct Battery;
 
-struct BatteryOutcome {
-    failure_free_round: Option<u32>,
-    bits_sent: u64,
-    silent_round: Option<u32>,
-    enumerated_runs: Result<usize, EbaError>,
-    spec_ok_runs: usize,
-}
-
 impl StackVisitor for Battery {
-    type Output = BatteryOutcome;
+    type Output = CoreMeasurements;
 
-    fn visit<E, P>(self, ctx: &Context<E, P>) -> BatteryOutcome
+    fn visit<E, P>(self, ctx: &Context<E, P>) -> CoreMeasurements
     where
         E: InformationExchange + Clone + Sync + 'static,
         E::State: Send + Sync,
         E::Message: Send + Sync,
         P: ActionProtocol<E> + Clone + Sync + 'static,
     {
-        let params = ctx.params();
-        let n = params.n();
-        let t = params.t();
-        let inits = vec![Value::One; n];
-
-        let trace = Scenario::of(ctx).inits(&inits).run().expect("run");
-        let failure_free_round = trace.max_decision_round(AgentSet::full(n));
-        let bits_sent = trace.metrics.bits_sent;
-
-        let silent_round = if t >= 1 && n - t >= 2 {
-            let silent: AgentSet = (0..t).map(AgentId::new).collect();
-            let pattern =
-                silent_pattern(params, silent, params.default_horizon()).expect("t faulty");
-            let nonfaulty = pattern.nonfaulty();
-            let trace = Scenario::of(ctx)
-                .pattern(pattern)
-                .inits(&inits)
-                .run()
-                .expect("run");
-            trace.max_decision_round(nonfaulty)
-        } else {
-            None
-        };
-
-        // Streamed exhaustive spec check: count runs and EBA verdicts
-        // without collecting a single trajectory. On error the partial
-        // verdict tally is meaningless, so it is discarded with the count.
-        let mut spec_ok = 0usize;
-        let streamed = Scenario::of(ctx)
-            .parallelism(Parallelism::Auto)
-            .limit(2_000_000)
-            .enumerate_into(&mut |run: EnumRun<E>| {
-                if enum_run_satisfies_eba(ctx.exchange(), &run) {
-                    spec_ok += 1;
-                }
-                Ok(())
-            });
-        BatteryOutcome {
-            failure_free_round,
-            bits_sent,
-            silent_round,
-            spec_ok_runs: if streamed.is_ok() { spec_ok } else { 0 },
-            enumerated_runs: streamed,
-        }
+        measure_stack(ctx, 2_000_000)
     }
 }
 
@@ -149,13 +105,13 @@ pub fn run(name: &str, n: usize, t: usize) -> Result<(StackSummary, Table), EbaE
     )?;
 
     let summary = StackSummary {
-        stack: stack.name().to_string(),
+        stack: stack.qualified_name(),
         n,
         t,
         failure_free_round: outcome.failure_free_round,
         bits_sent: outcome.bits_sent,
         wire_bytes: wire.wire_bytes_sent,
-        silent_round: outcome.silent_round,
+        silent_round: outcome.adversary_round,
         enumerated_runs: outcome.enumerated_runs,
         spec_ok_runs: outcome.spec_ok_runs,
     };
@@ -182,7 +138,7 @@ pub fn run(name: &str, n: usize, t: usize) -> Result<(StackSummary, Table), EbaE
         cell(summary.wire_bytes),
     ]);
     table.push(vec![
-        cell("silent-faulty (k = t): max nonfaulty decision round"),
+        cell("model adversary (k = t): max nonfaulty decision round"),
         or_dash(summary.silent_round),
     ]);
     match &summary.enumerated_runs {

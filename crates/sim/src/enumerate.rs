@@ -1,5 +1,7 @@
 //! Exhaustive enumeration of `R_{E,F,P}`: **all** runs of a context, for
-//! small instances.
+//! small instances, under any [`FailureModel`] (the paper's `SO(t)` by
+//! default; crash, general-omission, and failure-free environments via
+//! [`enumerate_model_into`] or a model-carrying [`Context`]).
 //!
 //! Knowledge is quantified over every run of the system, so the epistemic
 //! model checker needs the complete set. Enumerating raw failure patterns
@@ -49,7 +51,7 @@ use std::sync::mpsc;
 
 use eba_core::context::Context;
 use eba_core::exchange::InformationExchange;
-use eba_core::failures::nonfaulty_choices;
+use eba_core::failures::FailureModel;
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{Action, AgentId, AgentSet, EbaError, Value};
 
@@ -70,7 +72,9 @@ pub struct EnumRun<E: InformationExchange> {
 }
 
 /// Enumerates every run of `(E, P)` under `SO(t)` up to `horizon` rounds,
-/// deduplicated by `(N, trajectory)`, on the calling thread.
+/// deduplicated by `(N, trajectory)`, on the calling thread. (The legacy
+/// positional entry point is pinned to the paper's sending-omissions
+/// model; enumerate a [`Context`] to select another [`FailureModel`].)
 ///
 /// # Errors
 ///
@@ -87,9 +91,10 @@ where
     E: InformationExchange,
     P: ActionProtocol<E>,
 {
-    let items = WorkItems::new(ex.params(), limit)?;
+    let model = FailureModel::SendingOmission;
+    let items = WorkItems::new(ex.params(), model, limit)?;
     let mut runs: Vec<EnumRun<E>> = Vec::new();
-    stream_sequential(ex, proto, horizon, limit, &items, &mut runs)?;
+    stream_sequential(ex, proto, model, horizon, limit, &items, &mut runs)?;
     Ok(runs)
 }
 
@@ -143,9 +148,43 @@ where
     P: ActionProtocol<E> + Sync,
     S: RunSink<E>,
 {
+    enumerate_model_into(ctx, ctx.model(), horizon, limit, parallelism, sink)
+}
+
+/// [`enumerate_into`] with an explicit [`FailureModel`] overriding the
+/// context's: the per-round adversary choice space the depth-first search
+/// explores is the model's — sending-side drop subsets under `SO(t)`,
+/// additionally receive-side drops under `GO(t)`, crash-consistent
+/// silence suffixes under `CR(t)`, and nothing at all in the failure-free
+/// model (whose only admissible nonfaulty set is `Agt`).
+///
+/// The run sets are nested along the model hierarchy: every run
+/// enumerated under `FailureFree` appears under `Crash`, every `Crash`
+/// run under `SendingOmission`, and every `SendingOmission` run under
+/// `GeneralOmission`.
+///
+/// # Errors
+///
+/// Fails exactly when [`enumerate_into`] fails, with the branch-width
+/// guard applied to the chosen model's choice space.
+pub fn enumerate_model_into<E, P, S>(
+    ctx: &Context<E, P>,
+    model: FailureModel,
+    horizon: u32,
+    limit: usize,
+    parallelism: Parallelism,
+    sink: &mut S,
+) -> Result<usize, EbaError>
+where
+    E: InformationExchange + Sync,
+    E::State: Send,
+    P: ActionProtocol<E> + Sync,
+    S: RunSink<E>,
+{
     stream_runs(
         ctx.exchange(),
         ctx.protocol(),
+        model,
         horizon,
         limit,
         parallelism,
@@ -158,6 +197,7 @@ where
 fn stream_runs<E, P, S>(
     ex: &E,
     proto: &P,
+    model: FailureModel,
     horizon: u32,
     limit: usize,
     parallelism: Parallelism,
@@ -169,12 +209,12 @@ where
     P: ActionProtocol<E> + Sync,
     S: RunSink<E>,
 {
-    let items = WorkItems::new(ex.params(), limit)?;
+    let items = WorkItems::new(ex.params(), model, limit)?;
     let workers = parallelism.worker_count().min(items.len().max(1));
     if workers <= 1 {
-        stream_sequential(ex, proto, horizon, limit, &items, sink)
+        stream_sequential(ex, proto, model, horizon, limit, &items, sink)
     } else {
-        stream_parallel(ex, proto, horizon, limit, &items, workers, sink)
+        stream_parallel(ex, proto, model, horizon, limit, &items, workers, sink)
     }
 }
 
@@ -184,6 +224,7 @@ where
 fn stream_sequential<E, P, S>(
     ex: &E,
     proto: &P,
+    model: FailureModel,
     horizon: u32,
     limit: usize,
     items: &WorkItems,
@@ -197,7 +238,7 @@ where
     let mut total = 0usize;
     for idx in 0..items.len() {
         let (nonfaulty, inits) = items.get(idx);
-        let item_runs = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit)?;
+        let item_runs = enumerate_item(ex, proto, model, horizon, nonfaulty, &inits, limit)?;
         total = deliver_item(sink, item_runs, total, limit)?;
     }
     Ok(total)
@@ -208,9 +249,11 @@ where
 /// them back into item-index order and feeds the sink, so the stream is
 /// bit-for-bit identical to the sequential one. Only the out-of-order
 /// window is ever buffered.
+#[allow(clippy::too_many_arguments)] // internal engine plumbing
 fn stream_parallel<E, P, S>(
     ex: &E,
     proto: &P,
+    model: FailureModel,
     horizon: u32,
     limit: usize,
     items: &WorkItems,
@@ -248,7 +291,8 @@ where
                         break;
                     }
                     let (nonfaulty, inits) = items.get(idx);
-                    let result = enumerate_item(ex, proto, horizon, nonfaulty, &inits, limit);
+                    let result =
+                        enumerate_item(ex, proto, model, horizon, nonfaulty, &inits, limit);
                     match &result {
                         Ok(item_runs) => {
                             committed.fetch_add(item_runs.len(), Ordering::Relaxed);
@@ -333,7 +377,15 @@ where
     P: ActionProtocol<E> + Sync,
 {
     let mut runs: Vec<EnumRun<E>> = Vec::new();
-    stream_runs(ex, proto, horizon, limit, parallelism, &mut runs)?;
+    stream_runs(
+        ex,
+        proto,
+        FailureModel::SendingOmission,
+        horizon,
+        limit,
+        parallelism,
+        &mut runs,
+    )?;
     Ok(runs)
 }
 
@@ -362,8 +414,9 @@ where
 
 /// The independent shards of the search space, addressed by index in the
 /// deterministic order the sequential enumerator visits them: nonfaulty
-/// sets in [`nonfaulty_choices`] order, then initial configurations in
-/// [`init_configs`] order (agent 0 = least-significant bit).
+/// sets in [`FailureModel::nonfaulty_choices`] order, then initial
+/// configurations in `init_configs` order (agent 0 = least-significant
+/// bit).
 ///
 /// Items are *decoded from the index on demand* rather than materialized:
 /// there are `|choices| · 2^n` of them, which dwarfs the run limit long
@@ -378,9 +431,14 @@ impl WorkItems {
     /// already exceeds `limit`: every `(N, inits)` item contributes at
     /// least its drop-free trajectory as one deduplicated run, and items
     /// never dedup against each other, so `items > limit` implies the
-    /// enumeration must exceed the limit.
-    fn new(params: eba_core::types::Params, limit: usize) -> Result<Self, EbaError> {
-        let choices = nonfaulty_choices(params);
+    /// enumeration must exceed the limit. The admissible nonfaulty sets
+    /// come from the model (only `Agt` under `FailureFree`).
+    fn new(
+        params: eba_core::types::Params,
+        model: FailureModel,
+        limit: usize,
+    ) -> Result<Self, EbaError> {
+        let choices = model.nonfaulty_choices(params);
         let total = 1usize
             .checked_shl(params.n() as u32)
             .and_then(|per_choice| choices.len().checked_mul(per_choice));
@@ -433,10 +491,25 @@ fn limit_error(limit: usize) -> EbaError {
 }
 
 /// Depth-first enumeration of one `(N, inits)` work item, deduplicated by
-/// `(N, trajectory)` within the item.
+/// `(N, trajectory)` within the item. The per-round adversary choice
+/// space is the model's:
+///
+/// * `FailureFree` / `SendingOmission` — every subset of the non-⊥
+///   messages from faulty senders may be dropped (no faulty senders exist
+///   under `FailureFree`, so that model's rounds never branch);
+/// * `GeneralOmission` — every subset of the non-⊥ messages with a
+///   faulty endpoint (sender *or* receiver) may be dropped;
+/// * `Crash` — each not-yet-crashed faulty agent either stays alive
+///   (delivering everything) or crashes now, dropping a nonempty subset
+///   of this round's messages and everything — self-delivery included —
+///   afterwards. A crash that delivers its full final round is not
+///   enumerated separately: it yields the same deliveries as staying
+///   alive one more round and crashing with a full drop, so the
+///   trajectory set is unchanged.
 fn enumerate_item<E, P>(
     ex: &E,
     proto: &P,
+    model: FailureModel,
     horizon: u32,
     nonfaulty: AgentSet,
     inits: &[Value],
@@ -459,6 +532,7 @@ where
     let mut stack = vec![Partial {
         states: vec![init_states],
         actions: Vec::new(),
+        alive: faulty,
     }];
     while let Some(partial) = stack.pop() {
         let m = partial.actions.len() as u32;
@@ -480,23 +554,40 @@ where
         let outgoing: Vec<Vec<Option<E::Message>>> = (0..n)
             .map(|i| ex.outgoing(AgentId::new(i), &current[i], actions[i]))
             .collect();
-        // Branch points: non-⊥ messages from faulty senders.
+        if model == FailureModel::Crash {
+            expand_crash_round(
+                ex, faulty, &partial, current, &actions, &outgoing, m, &mut stack,
+            )?;
+            continue;
+        }
+        // Branch points: non-⊥ messages the model lets the adversary drop.
         let mut slots: Vec<(usize, usize)> = Vec::new();
-        #[allow(clippy::needless_range_loop)] // `to` is a receiver id
-        for from in faulty.iter() {
-            for to in 0..n {
-                if outgoing[from.index()][to].is_some() {
-                    slots.push((from.index(), to));
+        match model {
+            FailureModel::GeneralOmission => {
+                #[allow(clippy::needless_range_loop)] // `to` is a receiver id
+                for from in 0..n {
+                    for to in 0..n {
+                        let endpoint_faulty = faulty.contains(AgentId::new(from))
+                            || faulty.contains(AgentId::new(to));
+                        if endpoint_faulty && outgoing[from][to].is_some() {
+                            slots.push((from, to));
+                        }
+                    }
+                }
+            }
+            _ => {
+                #[allow(clippy::needless_range_loop)] // `to` is a receiver id
+                for from in faulty.iter() {
+                    for to in 0..n {
+                        if outgoing[from.index()][to].is_some() {
+                            slots.push((from.index(), to));
+                        }
+                    }
                 }
             }
         }
         if slots.len() > 24 {
-            return Err(EbaError::InvalidInput(format!(
-                "round {} offers {} delivery choices; instance too \
-                 large to enumerate",
-                m + 1,
-                slots.len()
-            )));
+            return Err(over_branchy_error(m, slots.len()));
         }
         for mask in 0u32..(1 << slots.len()) {
             let dropped = |from: usize, to: usize| {
@@ -505,32 +596,124 @@ where
                     .position(|s| *s == (from, to))
                     .is_some_and(|idx| mask & (1 << idx) != 0)
             };
-            let next: Vec<E::State> = (0..n)
-                .map(|j| {
-                    let received: Vec<Option<E::Message>> = (0..n)
-                        .map(|i| {
-                            if dropped(i, j) {
-                                None
-                            } else {
-                                outgoing[i][j].clone()
-                            }
-                        })
-                        .collect();
-                    ex.update(AgentId::new(j), &current[j], actions[j], &received)
-                })
-                .collect();
-            let mut branch = partial.clone();
-            branch.states.push(next);
-            branch.actions.push(actions.clone());
-            stack.push(branch);
+            stack.push(partial.branch(ex, current, &actions, &outgoing, dropped));
         }
     }
     Ok(runs)
 }
 
+/// Expands one round of the crash model: each still-alive faulty agent
+/// independently chooses to stay alive or to crash now with a nonempty
+/// dropped subset of its current messages; agents that crashed in an
+/// earlier round are forced silent (self-delivery included).
+#[allow(clippy::too_many_arguments)] // internal DFS plumbing
+fn expand_crash_round<E>(
+    ex: &E,
+    faulty: AgentSet,
+    partial: &Partial<E>,
+    current: &[E::State],
+    actions: &[Action],
+    outgoing: &[Vec<Option<E::Message>>],
+    m: u32,
+    stack: &mut Vec<Partial<E>>,
+) -> Result<(), EbaError>
+where
+    E: InformationExchange,
+{
+    let n = ex.params().n();
+    let crashed = faulty.difference(partial.alive);
+    // Per alive faulty agent: the receiver slots of its non-⊥ messages.
+    let groups: Vec<(usize, Vec<usize>)> = partial
+        .alive
+        .iter()
+        .map(|a| {
+            let from = a.index();
+            let receivers = (0..n).filter(|&to| outgoing[from][to].is_some()).collect();
+            (from, receivers)
+        })
+        .collect();
+    let total_bits: usize = groups.iter().map(|(_, g)| g.len()).sum();
+    if total_bits > 24 {
+        return Err(over_branchy_error(m, total_bits));
+    }
+    // Choice digit per alive agent: 0 = stay alive (deliver everything);
+    // c > 0 = crash now, dropping exactly the messages in bitmask `c`
+    // over its receiver slots. Iterate the mixed-radix product.
+    let radices: Vec<u64> = groups.iter().map(|(_, g)| 1u64 << g.len()).collect();
+    let combos: u64 = radices.iter().product();
+    for combo in 0..combos {
+        let mut digits: Vec<u32> = Vec::with_capacity(groups.len());
+        let mut rest = combo;
+        for r in &radices {
+            digits.push((rest % r) as u32);
+            rest /= r;
+        }
+        let dropped = |from: usize, to: usize| {
+            if crashed.contains(AgentId::new(from)) {
+                return true;
+            }
+            groups.iter().zip(&digits).any(|((agent, g), digit)| {
+                *agent == from
+                    && *digit != 0
+                    && g.iter()
+                        .position(|&t| t == to)
+                        .is_some_and(|idx| digit & (1 << idx) != 0)
+            })
+        };
+        let mut branch = partial.branch(ex, current, actions, outgoing, dropped);
+        for ((agent, _), digit) in groups.iter().zip(&digits) {
+            if *digit != 0 {
+                branch.alive.remove(AgentId::new(*agent));
+            }
+        }
+        stack.push(branch);
+    }
+    Ok(())
+}
+
 struct Partial<E: InformationExchange> {
     states: Vec<Vec<E::State>>,
     actions: Vec<Vec<Action>>,
+    /// Faulty agents that have not crashed yet — only consulted (and only
+    /// shrinks) under [`FailureModel::Crash`].
+    alive: AgentSet,
+}
+
+impl<E: InformationExchange> Partial<E> {
+    /// Extends this prefix by one round in which every message with
+    /// `dropped(from, to)` is lost; `alive` carries over unchanged (the
+    /// crash expansion adjusts it on the returned branch).
+    fn branch<F>(
+        &self,
+        ex: &E,
+        current: &[E::State],
+        actions: &[Action],
+        outgoing: &[Vec<Option<E::Message>>],
+        dropped: F,
+    ) -> Self
+    where
+        F: Fn(usize, usize) -> bool,
+    {
+        let n = current.len();
+        let next: Vec<E::State> = (0..n)
+            .map(|j| {
+                let received: Vec<Option<E::Message>> = (0..n)
+                    .map(|i| {
+                        if dropped(i, j) {
+                            None
+                        } else {
+                            outgoing[i][j].clone()
+                        }
+                    })
+                    .collect();
+                ex.update(AgentId::new(j), &current[j], actions[j], &received)
+            })
+            .collect();
+        let mut branch = self.clone();
+        branch.states.push(next);
+        branch.actions.push(actions.to_vec());
+        branch
+    }
 }
 
 // Manual impl: `derive(Clone)` would wrongly require `E: Clone`.
@@ -539,8 +722,18 @@ impl<E: InformationExchange> Clone for Partial<E> {
         Partial {
             states: self.states.clone(),
             actions: self.actions.clone(),
+            alive: self.alive,
         }
     }
+}
+
+fn over_branchy_error(m: u32, choices: usize) -> EbaError {
+    EbaError::InvalidInput(format!(
+        "round {} offers {} delivery choices; instance too \
+         large to enumerate",
+        m + 1,
+        choices
+    ))
 }
 
 fn commit<E: InformationExchange>(
@@ -720,6 +913,186 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("sink aborted"));
+    }
+
+    /// Collects the `(N, trajectory)` dedup keys of a model's run set.
+    fn model_keys<E, P>(
+        ctx: &eba_core::context::Context<E, P>,
+        model: FailureModel,
+    ) -> Vec<(u128, Vec<Vec<E::State>>)>
+    where
+        E: InformationExchange + Sync,
+        E::State: Send + Clone,
+        P: ActionProtocol<E> + Sync,
+    {
+        let mut keys = Vec::new();
+        enumerate_model_into(
+            ctx,
+            model,
+            4,
+            1_000_000,
+            Parallelism::Sequential,
+            &mut |run: EnumRun<E>| {
+                keys.push((run.nonfaulty.bits(), run.states));
+                Ok(())
+            },
+        )
+        .unwrap();
+        keys
+    }
+
+    #[test]
+    fn sending_omission_model_reproduces_the_legacy_enumeration() {
+        // The pre-model default must be bit-for-bit reproducible through
+        // the model-parameterized engine.
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::basic(params);
+        let legacy = enumerate_runs(ctx.exchange(), ctx.protocol(), 4, 1_000_000).unwrap();
+        let mut modeled: Vec<EnumRun<BasicExchange>> = Vec::new();
+        enumerate_model_into(
+            &ctx,
+            FailureModel::SendingOmission,
+            4,
+            1_000_000,
+            Parallelism::Sequential,
+            &mut modeled,
+        )
+        .unwrap();
+        assert_eq!(legacy.len(), modeled.len());
+        for (a, b) in legacy.iter().zip(&modeled) {
+            assert_eq!(a.nonfaulty, b.nonfaulty);
+            assert_eq!(a.inits, b.inits);
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.actions, b.actions);
+        }
+    }
+
+    #[test]
+    fn failure_free_model_enumerates_exactly_the_initial_configs() {
+        // Only N = Agt and no drops: one run per initial configuration,
+        // even though t > 0 admits faulty sets in the other models.
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::minimal(params);
+        let keys = model_keys(&ctx, FailureModel::FailureFree);
+        assert_eq!(keys.len(), 8);
+        for (nf, _) in &keys {
+            assert_eq!(*nf, AgentSet::full(3).bits());
+        }
+    }
+
+    #[test]
+    fn model_run_sets_are_nested_along_the_hierarchy() {
+        // FailureFree ⊆ Crash ⊆ SendingOmission ⊆ GeneralOmission, as
+        // (N, trajectory) sets, strictly at (3, 1) for E_basic/P_basic
+        // (strictness of FF ⊂ Crash needs a faulty-but-clean run, which
+        // FF's single nonfaulty choice cannot produce).
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::basic(params);
+        let chain = [
+            FailureModel::FailureFree,
+            FailureModel::Crash,
+            FailureModel::SendingOmission,
+            FailureModel::GeneralOmission,
+        ];
+        let sets: Vec<std::collections::HashSet<_>> = chain
+            .iter()
+            .map(|m| model_keys(&ctx, *m).into_iter().collect())
+            .collect();
+        for w in sets.windows(2) {
+            assert!(w[0].is_subset(&w[1]));
+            assert!(w[0].len() < w[1].len());
+        }
+    }
+
+    #[test]
+    fn crash_runs_never_revive_a_crashed_sender() {
+        // Derived check on trajectories is hard in general, but the crash
+        // expansion must at least stay within the SO run set and below
+        // its cardinality (the crash adversary is strictly weaker for
+        // E_basic at (3, 1), where senders can usefully revive).
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::basic(params);
+        let crash: std::collections::HashSet<_> =
+            model_keys(&ctx, FailureModel::Crash).into_iter().collect();
+        let so: std::collections::HashSet<_> = model_keys(&ctx, FailureModel::SendingOmission)
+            .into_iter()
+            .collect();
+        assert!(!crash.is_empty());
+        assert!(crash.is_subset(&so));
+        assert!(crash.len() < so.len());
+    }
+
+    #[test]
+    fn general_omission_adds_receive_side_runs() {
+        // Under GO a faulty *receiver* can miss a nonfaulty sender's
+        // announcement — trajectories SO cannot produce.
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::minimal(params);
+        let so: std::collections::HashSet<_> = model_keys(&ctx, FailureModel::SendingOmission)
+            .into_iter()
+            .collect();
+        let go: std::collections::HashSet<_> = model_keys(&ctx, FailureModel::GeneralOmission)
+            .into_iter()
+            .collect();
+        assert!(so.is_subset(&go));
+        assert!(so.len() < go.len(), "GO must strictly extend SO");
+    }
+
+    #[test]
+    fn context_model_steers_enumerate_into() {
+        // `enumerate_into` follows the model carried by the context.
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::minimal(params).with_model(FailureModel::FailureFree);
+        let mut count = 0usize;
+        let total = enumerate_into(
+            &ctx,
+            4,
+            1_000_000,
+            Parallelism::Sequential,
+            &mut |_run: EnumRun<MinExchange>| {
+                count += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!((count, total), (8, 8));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_model() {
+        let params = Params::new(3, 1).unwrap();
+        let ctx = eba_core::context::Context::basic(params);
+        for model in [
+            FailureModel::FailureFree,
+            FailureModel::Crash,
+            FailureModel::GeneralOmission,
+        ] {
+            let mut sequential: Vec<EnumRun<BasicExchange>> = Vec::new();
+            enumerate_model_into(
+                &ctx,
+                model,
+                4,
+                1_000_000,
+                Parallelism::Sequential,
+                &mut sequential,
+            )
+            .unwrap();
+            let mut parallel: Vec<EnumRun<BasicExchange>> = Vec::new();
+            enumerate_model_into(
+                &ctx,
+                model,
+                4,
+                1_000_000,
+                Parallelism::Fixed(4),
+                &mut parallel,
+            )
+            .unwrap();
+            assert_eq!(sequential.len(), parallel.len(), "{model:?}");
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.nonfaulty, p.nonfaulty, "{model:?}");
+                assert_eq!(s.states, p.states, "{model:?}");
+            }
+        }
     }
 
     #[test]

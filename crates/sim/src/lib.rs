@@ -17,11 +17,13 @@
 //!   point over a first-class [`Context`](eba_core::context::Context),
 //!   replacing the positional `(&exchange, &protocol, …)` signatures;
 //! * [`enumerate`] — exhaustive generation of **all** runs `R_{E,F,P}` of
-//!   a context for small `(n, t)`, used by `eba-epistemic` to build
-//!   interpreted systems; sequential or sharded across threads
-//!   ([`enumerate::enumerate_parallel`]) with bit-for-bit identical
-//!   output, or streamed through a [`sink::RunSink`] without collecting
-//!   ([`enumerate::enumerate_into`]).
+//!   a context for small `(n, t)`, under any
+//!   [`FailureModel`](eba_core::failures::FailureModel) (the context's,
+//!   or [`enumerate::enumerate_model_into`]'s explicit override), used by
+//!   `eba-epistemic` to build interpreted systems; sequential or sharded
+//!   across threads ([`enumerate::enumerate_parallel`]) with bit-for-bit
+//!   identical output, or streamed through a [`sink::RunSink`] without
+//!   collecting ([`enumerate::enumerate_into`]).
 //!
 //! # Example
 //!
@@ -55,7 +57,8 @@ pub mod prelude {
     pub use crate::chains::{verify_zero_chains, zero_chain_ending_at};
     pub use crate::dominance::{compare_corresponding, DominanceSummary, RunComparison};
     pub use crate::enumerate::{
-        enumerate_into, enumerate_parallel, enumerate_runs, enumerate_with, EnumRun,
+        enumerate_into, enumerate_model_into, enumerate_parallel, enumerate_runs, enumerate_with,
+        EnumRun,
     };
     pub use crate::metrics::Metrics;
     pub use crate::render::{render_round_deliveries, render_timeline};

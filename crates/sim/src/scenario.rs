@@ -12,13 +12,13 @@
 //! transport cluster via [`validate_scenario_shape`]), so shape errors
 //! report **every** problem at once, each naming the offending argument.
 
-use eba_core::context::{validate_scenario_shape, Context};
+use eba_core::context::{error_message, validate_scenario_shape, Context};
 use eba_core::exchange::InformationExchange;
-use eba_core::failures::FailurePattern;
+use eba_core::failures::{FailureModel, FailurePattern};
 use eba_core::protocols::ActionProtocol;
 use eba_core::types::{EbaError, Value};
 
-use crate::enumerate::{enumerate_into, EnumRun};
+use crate::enumerate::{enumerate_model_into, EnumRun};
 use crate::runner::{run, Parallelism, SimOptions};
 use crate::sink::RunSink;
 use crate::trace::Trace;
@@ -52,6 +52,7 @@ const DEFAULT_ENUM_LIMIT: usize = 10_000_000;
 #[derive(Clone, Debug)]
 pub struct Scenario<'c, E, P> {
     ctx: &'c Context<E, P>,
+    model: Option<FailureModel>,
     pattern: Option<FailurePattern>,
     inits: Option<Vec<Value>>,
     opts: SimOptions,
@@ -71,6 +72,7 @@ where
     pub fn of(ctx: &'c Context<E, P>) -> Self {
         Scenario {
             ctx,
+            model: None,
             pattern: None,
             inits: None,
             opts: SimOptions::default(),
@@ -78,7 +80,21 @@ where
         }
     }
 
-    /// Sets the failure pattern (defaults to failure-free).
+    /// Overrides the failure model (defaults to the context's, which is
+    /// [`FailureModel::SendingOmission`] unless the context was built
+    /// with another). The model picks the adversary choice space
+    /// explored by the enumeration entry points and must admit the
+    /// pattern given to [`run`](Scenario::run).
+    #[must_use]
+    pub fn model(mut self, model: FailureModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the failure pattern (defaults to failure-free). The pattern
+    /// must be admissible under the scenario's effective failure model —
+    /// e.g. a [`silent_pattern`](eba_core::failures::silent_pattern) is
+    /// rejected under `FailureModel::FailureFree`.
     #[must_use]
     pub fn pattern(mut self, pattern: FailurePattern) -> Self {
         self.pattern = Some(pattern);
@@ -149,7 +165,7 @@ where
     /// pattern, so callers that need the pattern afterwards build it once.
     fn validate_with(&self, pattern: &FailurePattern) -> Result<(), EbaError> {
         let params = self.ctx.params();
-        match &self.inits {
+        let shape = match &self.inits {
             None => {
                 let mut problems = vec![format!(
                     "inits: not set (expected n = {} initial preferences)",
@@ -158,12 +174,30 @@ where
                 if let Err(e) =
                     validate_scenario_shape(params, pattern, &vec![Value::One; params.n()])
                 {
-                    problems.push(strip_invalid_input(&e));
+                    problems.push(error_message(&e));
                 }
                 Err(EbaError::InvalidInput(problems.join("; ")))
             }
             Some(inits) => validate_scenario_shape(params, pattern, inits),
+        };
+        // The scenario's model must admit the pattern's drops — through
+        // the whole run, so a crash pattern whose recorded silence ends
+        // before the horizon is rejected rather than silently reviving —
+        // whatever model the pattern itself was built under.
+        let model = self.effective_model();
+        if pattern.params() == params {
+            if let Err(e) = model.admits_pattern_up_to(pattern, self.effective_horizon()) {
+                let model_problem = format!(
+                    "pattern: not admissible under the scenario's {model} model ({})",
+                    error_message(&e)
+                );
+                return Err(EbaError::InvalidInput(match shape {
+                    Err(prior) => format!("{}; {model_problem}", error_message(&prior)),
+                    Ok(()) => model_problem,
+                }));
+            }
         }
+        shape
     }
 
     /// Executes one run of the scenario on the calling thread.
@@ -220,8 +254,9 @@ where
         P: Sync,
         S: RunSink<E>,
     {
-        enumerate_into(
+        enumerate_model_into(
             self.ctx,
+            self.effective_model(),
             self.effective_horizon(),
             self.limit,
             self.opts.parallelism,
@@ -235,19 +270,14 @@ where
             .unwrap_or_else(|| FailurePattern::failure_free(self.ctx.params()))
     }
 
+    fn effective_model(&self) -> FailureModel {
+        self.model.unwrap_or_else(|| self.ctx.model())
+    }
+
     fn effective_horizon(&self) -> u32 {
         self.opts
             .horizon
             .unwrap_or_else(|| self.ctx.params().default_horizon())
-    }
-}
-
-/// The `Display` form of [`EbaError::InvalidInput`] repeats the variant
-/// prefix; strip it when splicing one error's message into another.
-fn strip_invalid_input(e: &EbaError) -> String {
-    match e {
-        EbaError::InvalidInput(msg) => msg.clone(),
-        other => other.to_string(),
     }
 }
 

@@ -226,11 +226,17 @@ where
 
 /// Runs a first-class [`Context`] on the threaded cluster — the
 /// `Scenario`-era face of [`run_cluster`]: the context supplies both
-/// halves of the stack, the caller supplies the wire codec.
+/// halves of the stack (and its failure model, which the injected
+/// pattern must be admissible under), the caller supplies the wire
+/// codec.
 ///
 /// # Errors
 ///
-/// Exactly as [`run_cluster`].
+/// As [`run_cluster`], and additionally
+/// [`EbaError::InvalidInput`] when the pattern's drops are not
+/// admissible under the context's
+/// [`FailureModel`](eba_core::failures::FailureModel) — e.g. a silent
+/// sending-omission adversary injected into an `@failure_free` context.
 pub fn run_context_cluster<E, P, C>(
     ctx: &Context<E, P>,
     codec: &C,
@@ -244,6 +250,15 @@ where
     P: ActionProtocol<E> + Sync,
     C: WireCodec<E::Message>,
 {
+    if pattern.params() == ctx.params() {
+        if let Err(e) = ctx.model().admits_pattern_up_to(pattern, horizon) {
+            return Err(EbaError::InvalidInput(format!(
+                "pattern: not admissible under the context's {} model ({})",
+                ctx.model(),
+                eba_core::context::error_message(&e)
+            )));
+        }
+    }
     run_cluster(
         ctx.exchange(),
         ctx.protocol(),
@@ -474,6 +489,38 @@ mod tests {
             assert_eq!(report.decision_rounds, rounds, "{name}");
             assert_eq!(report.decision_values, values, "{name}");
         }
+    }
+
+    #[test]
+    fn model_qualified_stacks_run_over_the_wire() {
+        // A general-omission isolation adversary runs through a
+        // `@general_omission` stack and agrees with the lockstep runner.
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let pattern = isolation_pattern(params(), faulty, 4).unwrap();
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        let stack = NamedStack::by_name("E_basic/P_basic@general_omission", params()).unwrap();
+        let report = run_named_cluster(&stack, &pattern, &inits, 4).unwrap();
+        let ctx = Context::basic(params()).with_model(FailureModel::GeneralOmission);
+        let trace = Scenario::of(&ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .horizon(4)
+            .run()
+            .unwrap();
+        assert_eq!(report.decision_rounds, trace.metrics.decision_rounds);
+        assert_eq!(report.decision_values, trace.metrics.decision_values);
+    }
+
+    #[test]
+    fn cluster_rejects_patterns_outside_the_context_model() {
+        // The same isolation pattern is refused by the default SO(t)
+        // context: receive-side drops are not sending omissions.
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let pattern = isolation_pattern(params(), faulty, 4).unwrap();
+        let ctx = Context::basic(params());
+        let err =
+            run_context_cluster(&ctx, &BasicCodec, &pattern, &[Value::One; 4], 4).unwrap_err();
+        assert!(err.to_string().contains("sending_omission model"), "{err}");
     }
 
     #[test]

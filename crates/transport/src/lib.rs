@@ -12,20 +12,23 @@
 //! on every run — decision rounds, decision values, final states — which
 //! the cross-check tests enforce.
 //!
+//! Contexts carry their failure model onto the wire too: the injected
+//! pattern must be admissible under the context's
+//! [`FailureModel`](eba_core::failures::FailureModel), and registry
+//! names (`run_named_cluster`) accept model-qualified stacks like
+//! `"E_basic/P_basic@crash"`.
+//!
 //! # Example
 //!
 //! ```
 //! use eba_core::prelude::*;
-//! use eba_transport::{run_cluster, BasicCodec};
+//! use eba_transport::{run_context_cluster, BasicCodec};
 //!
 //! # fn main() -> Result<(), EbaError> {
 //! let params = Params::new(4, 1)?;
-//! let ex = BasicExchange::new(params);
-//! let proto = PBasic::new(params);
+//! let ctx = Context::basic(params);
 //! let pattern = FailurePattern::failure_free(params);
-//! let report = run_cluster(
-//!     &ex, &proto, &BasicCodec, &pattern, &vec![Value::One; 4], 4,
-//! )?;
+//! let report = run_context_cluster(&ctx, &BasicCodec, &pattern, &[Value::One; 4], 4)?;
 //! assert!(report.decision_rounds.iter().all(|r| *r == Some(2)));
 //! # Ok(())
 //! # }

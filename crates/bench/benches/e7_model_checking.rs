@@ -28,7 +28,11 @@ fn bench_e7(c: &mut Criterion) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(5));
-    group.bench_function("build_system_min_n4_t2", |b| {
+    // Streamed (arena) vs collected (legacy `from_runs`) system builds on
+    // the same context: regressions in either path — the interning sink
+    // and single-sort classes, or the compatibility classifier — show up
+    // side by side in the `--smoke` sweep.
+    group.bench_function("build_system_streamed_min_n4_t2", |b| {
         let params = Params::new(4, 2).unwrap();
         b.iter(|| {
             let sys = InterpretedSystem::from_context(
@@ -37,6 +41,24 @@ fn bench_e7(c: &mut Criterion) {
                 10_000_000,
                 Parallelism::Sequential,
             )
+            .unwrap();
+            black_box((sys.point_count(), sys.distinct_states()))
+        })
+    });
+    group.bench_function("build_system_collected_min_n4_t2", |b| {
+        let params = Params::new(4, 2).unwrap();
+        b.iter(|| {
+            let ctx = Context::minimal(params);
+            let runs = eba_sim::enumerate::enumerate_runs(
+                ctx.exchange(),
+                ctx.protocol(),
+                params.default_horizon(),
+                10_000_000,
+            )
+            .unwrap();
+            let sys = InterpretedSystem::from_runs(MinExchange::new(params), runs, {
+                params.default_horizon()
+            })
             .unwrap();
             black_box(sys.point_count())
         })

@@ -5,7 +5,10 @@
 //! * lockstep-simulator throughput for `P_basic` as `n` grows;
 //! * `FipAnalysis::analyze` (the polynomial-time `P_opt` core) as `n`
 //!   grows — the paper's complexity claim is that this stays polynomial;
-//! * threaded-transport round-trips versus the lockstep simulator.
+//! * threaded-transport round-trips versus the lockstep simulator;
+//! * interpreted-system construction, streamed (interned `RunStore`
+//!   arena) versus collected (legacy `from_runs`), so regressions in the
+//!   arena path are caught by the `--smoke` sweep.
 
 use std::hint::black_box;
 use std::time::Duration;
@@ -90,10 +93,45 @@ fn bench_transport(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_system_build(c: &mut Criterion) {
+    use eba_epistemic::prelude::*;
+    let mut group = c.benchmark_group("perf_system_build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // Same context both ways; the streamed path must never lose to
+    // collect-then-classify.
+    let params = Params::new(3, 1).unwrap();
+    let horizon = params.default_horizon();
+    group.bench_function("streamed_basic_n3_t1", |b| {
+        b.iter(|| {
+            let sys = InterpretedSystem::from_context(
+                Context::basic(params),
+                horizon,
+                10_000_000,
+                Parallelism::Sequential,
+            )
+            .unwrap();
+            black_box((sys.point_count(), sys.distinct_states()))
+        })
+    });
+    group.bench_function("collected_basic_n3_t1", |b| {
+        b.iter(|| {
+            let ctx = Context::basic(params);
+            let runs = enumerate_runs(ctx.exchange(), ctx.protocol(), horizon, 10_000_000).unwrap();
+            let sys = InterpretedSystem::from_runs(BasicExchange::new(params), runs, horizon) //
+                .unwrap();
+            black_box(sys.point_count())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sim_throughput,
     bench_fip_analysis,
-    bench_transport
+    bench_transport,
+    bench_system_build
 );
 criterion_main!(benches);

@@ -83,8 +83,6 @@ pub fn run_stack(name: &str, params: Params, pattern: &FailurePattern, inits: &[
         fn visit<E, P>(self, ctx: &Context<E, P>) -> u32
         where
             E: eba_core::exchange::InformationExchange + Clone + Sync + 'static,
-            E::State: Send + Sync,
-            E::Message: Send + Sync,
             P: eba_core::protocols::ActionProtocol<E> + Clone + Sync + 'static,
         {
             run_context(ctx, self.pattern, self.inits)

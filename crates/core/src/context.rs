@@ -175,8 +175,6 @@ pub trait StackVisitor {
     fn visit<E, P>(self, ctx: &Context<E, P>) -> Self::Output
     where
         E: InformationExchange + Clone + Sync + 'static,
-        E::State: Send + Sync,
-        E::Message: Send + Sync,
         P: ActionProtocol<E> + Clone + Sync + 'static;
 }
 
@@ -400,8 +398,6 @@ mod tests {
             fn visit<E, P>(self, ctx: &Context<E, P>) -> String
             where
                 E: InformationExchange + Clone + Sync + 'static,
-                E::State: Send + Sync,
-                E::Message: Send + Sync,
                 P: ActionProtocol<E> + Clone + Sync + 'static,
             {
                 ctx.name()

@@ -35,10 +35,14 @@ use crate::types::{Action, AgentId, Params, Value};
 /// action protocols (whose corresponding runs can then be compared).
 pub trait InformationExchange {
     /// Local states `L_i` (shared by all agents; the agent's identity is
-    /// passed explicitly).
-    type State: Clone + Eq + Hash + Debug;
-    /// Messages `M_i`.
-    type Message: Clone + Eq + Hash + Debug;
+    /// passed explicitly). `Eq + Hash` lets run stores intern each
+    /// distinct state once behind a `StateId`; `Send + Sync` lets the
+    /// sharded enumerators and interning sinks move states across
+    /// threads without per-call-site bounds.
+    type State: Clone + Eq + Hash + Debug + Send + Sync;
+    /// Messages `M_i`, bounded like [`InformationExchange::State`] so
+    /// threaded transports can carry them.
+    type Message: Clone + Eq + Hash + Debug + Send + Sync;
 
     /// A short human-readable name, e.g. `"E_min"`.
     fn name(&self) -> &'static str;

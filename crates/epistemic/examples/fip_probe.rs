@@ -11,9 +11,10 @@ fn main() {
     let sys =
         InterpretedSystem::build_parallel(ex, &proto, 4, 10_000_000, Parallelism::Auto).unwrap();
     println!(
-        "built: {} runs, {} points in {:?}",
-        sys.runs().len(),
+        "built: {} runs, {} points, {} distinct states in {:?}",
+        sys.run_count(),
         sys.point_count(),
+        sys.distinct_states(),
         t0.elapsed()
     );
     let t1 = std::time::Instant::now();

@@ -117,6 +117,13 @@ impl Formula {
 
 impl<E: InformationExchange> InterpretedSystem<E> {
     /// Evaluates a formula over all points of the system.
+    ///
+    /// Propositions resolve through the interned
+    /// [`RunStore`](eba_sim::store::RunStore): run-level facts (inits,
+    /// nonfaulty membership) fill whole runs at a time, and state-level
+    /// facts (`decided`) are memoized once per **distinct** state via
+    /// [`InterpretedSystem::per_state_table`], then looked up by
+    /// `StateId` per point.
     pub fn eval(&self, f: &Formula) -> BitSet {
         let count = self.point_count();
         match f {
@@ -125,23 +132,32 @@ impl<E: InformationExchange> InterpretedSystem<E> {
                 s.fill();
                 s
             }
-            Formula::InitIs(i, v) => self.points_where(|run, _| run.inits[i.index()] == *v),
-            Formula::DecidedIs(i, v) => self.points_by(|pid| self.decided_at(pid, *i) == *v),
+            Formula::InitIs(i, v) => self.points_where_run(|r| self.inits(r)[i.index()] == *v),
+            Formula::DecidedIs(i, v) => {
+                let decided = self.decided_table();
+                self.points_by(|pid| decided[self.state_id(pid, *i).index()] == *v)
+            }
             Formula::TimeIs(k) => self.points_by(|pid| self.time_of(pid) == *k),
-            Formula::Nonfaulty(i) => self.points_where(|run, _| run.nonfaulty.contains(*i)),
-            Formula::ExistsInit(v) => self.points_where(|run, _| run.inits.contains(v)),
-            Formula::JustDecided(i, v) => self.points_by(|pid| {
-                let m = self.time_of(pid);
-                m > 0
-                    && self.decided_at(pid, *i) == Some(*v)
-                    && self.decided_at(pid - 1, *i).is_none()
-            }),
-            Formula::Deciding(i, v) => self.points_by(|pid| {
-                let m = self.time_of(pid);
-                m < self.horizon()
-                    && self.decided_at(pid, *i).is_none()
-                    && self.decided_at(pid + 1, *i) == Some(*v)
-            }),
+            Formula::Nonfaulty(i) => self.points_where_run(|r| self.nonfaulty(r).contains(*i)),
+            Formula::ExistsInit(v) => self.points_where_run(|r| self.inits(r).contains(v)),
+            Formula::JustDecided(i, v) => {
+                let decided = self.decided_table();
+                self.points_by(|pid| {
+                    let m = self.time_of(pid);
+                    m > 0
+                        && decided[self.state_id(pid, *i).index()] == Some(*v)
+                        && decided[self.state_id(pid - 1, *i).index()].is_none()
+                })
+            }
+            Formula::Deciding(i, v) => {
+                let decided = self.decided_table();
+                self.points_by(|pid| {
+                    let m = self.time_of(pid);
+                    m < self.horizon()
+                        && decided[self.state_id(pid, *i).index()].is_none()
+                        && decided[self.state_id(pid + 1, *i).index()] == Some(*v)
+                })
+            }
             Formula::Not(g) => {
                 let mut s = self.eval(g);
                 s.invert();
@@ -204,12 +220,16 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         self.eval(f).count() == self.point_count()
     }
 
-    fn points_where(&self, pred: impl Fn(&eba_sim::enumerate::EnumRun<E>, u32) -> bool) -> BitSet {
+    /// Fills every point of every run satisfying the run-level predicate
+    /// (points of a run are contiguous, so whole runs fill at once).
+    fn points_where_run(&self, pred: impl Fn(usize) -> bool) -> BitSet {
         let mut s = BitSet::new(self.point_count());
-        for pid in 0..self.point_count() {
-            let run = &self.runs()[self.run_of(pid as PointId)];
-            if pred(run, self.time_of(pid as PointId)) {
-                s.insert(pid);
+        let per_run = self.horizon() as usize + 1;
+        for r in 0..self.run_count() {
+            if pred(r) {
+                for pid in r * per_run..(r + 1) * per_run {
+                    s.insert(pid);
+                }
             }
         }
         s
@@ -363,7 +383,7 @@ mod tests {
             );
             // Termination within the horizon holds at time 0 of every run.
             let set = s.eval(&terminate);
-            for r in 0..s.runs().len() {
+            for r in 0..s.run_count() {
                 assert!(set.contains(s.point(r, 0) as usize), "termination {i}");
             }
             let validity = Formula::implies(

@@ -1,5 +1,21 @@
 //! Interpreted systems `I = (R_{E,F,P}, π)` over exhaustively enumerated
 //! run sets.
+//!
+//! Systems are backed by an interned, columnar
+//! [`RunStore`]: each distinct local state is
+//! stored once in a [`StateArena`](eba_sim::store::StateArena) and every
+//! point maps to a [`StateId`], so [`InterpretedSystem::from_context`]
+//! streams the enumeration straight into deduplicated storage — the full
+//! `Vec<EnumRun<E>>` never materializes — and indistinguishability
+//! classes fall out of a single integer sort per agent (equal ids ⟺
+//! equal states). The legacy [`InterpretedSystem::from_runs`] path keeps
+//! the original hash-then-group classifier over a collected run vector as
+//! a compatibility wrapper and as the independent oracle the arena
+//! **classes** are verified against; state storage is shared with the
+//! streamed path, so the equivalence suite
+//! (`tests/run_store_equivalence.rs`) additionally checks every
+//! arena-resolved state and action against the raw collected
+//! trajectories.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -7,13 +23,13 @@ use std::hash::{Hash, Hasher};
 use eba_core::context::Context;
 use eba_core::exchange::InformationExchange;
 use eba_core::protocols::ActionProtocol;
-use eba_core::types::{Action, AgentId, BitSet, EbaError, Params, Value};
+use eba_core::types::{Action, AgentId, AgentSet, BitSet, EbaError, Params, Value};
 use eba_sim::enumerate::{enumerate_runs, EnumRun};
 use eba_sim::runner::Parallelism;
 use eba_sim::scenario::Scenario;
+use eba_sim::store::{ensure_point_capacity, RunStore, StateId};
 
-/// Identifier of a point `(r, m)`: `r * (horizon + 1) + m`.
-pub type PointId = u32;
+pub use eba_sim::store::PointId;
 
 /// Per-agent indistinguishability classes, stored flat: `points` holds all
 /// point ids grouped by class; `starts[c]..starts[c+1]` is class `c`.
@@ -30,33 +46,42 @@ struct AgentClasses {
 /// local state at both — the `K_i` accessibility relation of Section 2.
 /// Systems are synchronous (local states carry the time), so classes never
 /// mix times.
+///
+/// Runs live in an interned [`RunStore`]: [`local_state`](Self::local_state)
+/// resolves through the arena, and per-state computations can be memoized
+/// over [`state_id`](Self::state_id) instead of recomputed per point.
 pub struct InterpretedSystem<E: InformationExchange> {
     ex: E,
-    runs: Vec<EnumRun<E>>,
-    horizon: u32,
+    store: RunStore<E>,
     classes: Vec<AgentClasses>,
+    /// `decided` per distinct state, computed once at construction —
+    /// every `decided`-reading proposition is an id lookup.
+    decided_by_state: Vec<Option<Value>>,
 }
 
 impl<E: InformationExchange> InterpretedSystem<E> {
     /// Builds the system for the context `(E, SO(t), π)` and action
-    /// protocol `proto` by exhaustive run enumeration.
+    /// protocol `proto` by exhaustive run enumeration, through the legacy
+    /// collect-then-classify path (see [`InterpretedSystem::from_runs`]).
+    /// Prefer [`InterpretedSystem::from_context`], which streams.
     ///
     /// # Errors
     ///
     /// Propagates enumeration failures (instance too large; see
-    /// [`enumerate_runs`]).
+    /// [`enumerate_runs`]) and [`InterpretedSystem::from_runs`] failures.
     pub fn build<P>(ex: E, proto: &P, horizon: u32, limit: usize) -> Result<Self, EbaError>
     where
         P: ActionProtocol<E>,
     {
         let runs = enumerate_runs(&ex, proto, horizon, limit)?;
-        Ok(Self::from_runs(ex, runs, horizon))
+        Self::from_runs(ex, runs, horizon)
     }
 
     /// Like [`InterpretedSystem::build`], but shards the run enumeration —
     /// the dominant cost of building a system — across threads according
-    /// to `parallelism`. The resulting system is identical: the parallel
-    /// enumerator returns the same runs in the same order.
+    /// to `parallelism`, streaming into the interned store. The resulting
+    /// system is identical: the parallel enumerator feeds the same runs
+    /// in the same order.
     ///
     /// # Errors
     ///
@@ -71,7 +96,6 @@ impl<E: InformationExchange> InterpretedSystem<E> {
     ) -> Result<Self, EbaError>
     where
         E: Sync,
-        E::State: Send,
         P: ActionProtocol<E> + Sync,
     {
         // `&P` is itself an action protocol, so the borrowed pair forms a
@@ -84,8 +108,11 @@ impl<E: InformationExchange> InterpretedSystem<E> {
     /// of the stack *and its failure model* (knowledge is quantified over
     /// the model's run set, so an `@crash` context yields a different —
     /// smaller — system than the default `SO(t)` one), and the
-    /// enumeration runs through [`Scenario::enumerate`] with the given
-    /// `parallelism`.
+    /// enumeration **streams** through
+    /// [`Scenario::enumerate_store`] with the given `parallelism`: each
+    /// run is interned into the columnar [`RunStore`] on arrival, so the
+    /// run vector never materializes and peak memory is the arena of
+    /// distinct states plus one `u32` per `(agent, point)`.
     ///
     /// ```
     /// use eba_core::prelude::*;
@@ -95,7 +122,9 @@ impl<E: InformationExchange> InterpretedSystem<E> {
     /// # fn main() -> Result<(), EbaError> {
     /// let ctx = Context::minimal(Params::new(3, 1)?);
     /// let sys = InterpretedSystem::from_context(ctx, 4, 1_000_000, Parallelism::Auto)?;
-    /// assert!(sys.runs().len() > 0);
+    /// assert!(sys.run_count() > 0);
+    /// // Interning keeps far fewer states than (agent, point) slots:
+    /// assert!(sys.distinct_states() < sys.params().n() * sys.point_count());
     /// # Ok(())
     /// # }
     /// ```
@@ -103,7 +132,8 @@ impl<E: InformationExchange> InterpretedSystem<E> {
     /// # Errors
     ///
     /// Propagates enumeration failures (instance too large; see
-    /// [`enumerate_runs`]).
+    /// [`enumerate_runs`]), and rejects run sets that overflow the `u32`
+    /// point-id space with [`EbaError::InvalidInput`].
     pub fn from_context<P>(
         ctx: Context<E, P>,
         horizon: u32,
@@ -112,82 +142,91 @@ impl<E: InformationExchange> InterpretedSystem<E> {
     ) -> Result<Self, EbaError>
     where
         E: Sync,
-        E::State: Send,
         P: ActionProtocol<E> + Sync,
     {
-        let runs = Scenario::of(&ctx)
+        let store = Scenario::of(&ctx)
             .horizon(horizon)
             .limit(limit)
             .parallelism(parallelism)
-            .enumerate()?;
+            .enumerate_store()?;
         let (ex, _proto) = ctx.into_parts();
-        Ok(Self::from_runs(ex, runs, horizon))
+        Self::from_store(ex, store)
+    }
+
+    /// Builds a system directly from an interned [`RunStore`] (e.g. one
+    /// filled through [`Scenario::enumerate_store`] or a custom sink).
+    /// Indistinguishability classes are derived from a single sort of
+    /// `(StateId, PointId)` keys per agent — no hashing, no state
+    /// comparisons: two points share a class iff they share an id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] if the store's agent count
+    /// disagrees with the exchange's parameters.
+    pub fn from_store(ex: E, store: RunStore<E>) -> Result<Self, EbaError> {
+        if store.agents() != ex.params().n() {
+            return Err(EbaError::InvalidInput(format!(
+                "store built for {} agents, exchange has n = {}",
+                store.agents(),
+                ex.params().n()
+            )));
+        }
+        // `RunStore::push_run` enforced point capacity run by run.
+        let classes = classes_from_store(&store);
+        let decided_by_state = store
+            .arena()
+            .states()
+            .iter()
+            .map(|s| ex.decided(s))
+            .collect();
+        Ok(InterpretedSystem {
+            ex,
+            store,
+            classes,
+            decided_by_state,
+        })
     }
 
     /// Builds a system from pre-enumerated runs (they must all have the
-    /// given horizon).
+    /// given horizon) — the legacy compatibility path: classes are
+    /// computed by the original hash-then-group classifier over the
+    /// collected run vector, independently of the arena sort, which makes
+    /// this constructor the oracle the streamed path is verified against.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if some run's trajectory length disagrees with `horizon`.
-    pub fn from_runs(ex: E, runs: Vec<EnumRun<E>>, horizon: u32) -> Self {
+    /// Returns [`EbaError::InvalidInput`] if some run's trajectory length
+    /// disagrees with `horizon`, or if `runs.len() * (horizon + 1)`
+    /// overflows the `u32` point-id space.
+    pub fn from_runs(ex: E, runs: Vec<EnumRun<E>>, horizon: u32) -> Result<Self, EbaError> {
+        ensure_point_capacity(runs.len(), horizon)?;
         for run in &runs {
-            assert_eq!(run.states.len() as u32, horizon + 1, "run horizon mismatch");
+            if run.states.len() as u32 != horizon + 1 {
+                return Err(EbaError::InvalidInput(format!(
+                    "run horizon mismatch: got {} states, expected horizon {} + 1",
+                    run.states.len(),
+                    horizon
+                )));
+            }
         }
         let n = ex.params().n();
-        let point_count = runs.len() * (horizon as usize + 1);
-        let mut classes = Vec::with_capacity(n);
-        for i in 0..n {
-            // Group points by agent i's local state: sort by hash, then
-            // split hash-equal spans by exact equality.
-            let mut hashed: Vec<(u64, PointId)> = Vec::with_capacity(point_count);
-            for (r, run) in runs.iter().enumerate() {
-                for m in 0..=horizon {
-                    let mut h = DefaultHasher::new();
-                    run.states[m as usize][i].hash(&mut h);
-                    let pid = (r * (horizon as usize + 1) + m as usize) as PointId;
-                    hashed.push((h.finish(), pid));
-                }
-            }
-            hashed.sort_unstable();
-            let state_of = |pid: PointId| {
-                let r = pid as usize / (horizon as usize + 1);
-                let m = pid as usize % (horizon as usize + 1);
-                &runs[r].states[m][i]
-            };
-            let mut points = Vec::with_capacity(point_count);
-            let mut starts = vec![0u32];
-            let mut span_start = 0;
-            while span_start < hashed.len() {
-                let hash = hashed[span_start].0;
-                let mut span_end = span_start;
-                while span_end < hashed.len() && hashed[span_end].0 == hash {
-                    span_end += 1;
-                }
-                // Partition the (rarely > 1 distinct) states in this span.
-                let mut remaining: Vec<PointId> = hashed[span_start..span_end]
-                    .iter()
-                    .map(|(_, p)| *p)
-                    .collect();
-                while !remaining.is_empty() {
-                    let repr = remaining[0];
-                    let (class, rest): (Vec<PointId>, Vec<PointId>) = remaining
-                        .into_iter()
-                        .partition(|p| state_of(*p) == state_of(repr));
-                    points.extend_from_slice(&class);
-                    starts.push(points.len() as u32);
-                    remaining = rest;
-                }
-                span_start = span_end;
-            }
-            classes.push(AgentClasses { points, starts });
+        let classes = classes_from_runs(&runs, horizon, n);
+        let mut store = RunStore::new(n, horizon);
+        for run in &runs {
+            store.push_run(run)?;
         }
-        InterpretedSystem {
+        let decided_by_state = store
+            .arena()
+            .states()
+            .iter()
+            .map(|s| ex.decided(s))
+            .collect();
+        Ok(InterpretedSystem {
             ex,
-            runs,
-            horizon,
+            store,
             classes,
-        }
+            decided_by_state,
+        })
     }
 
     /// The exchange protocol of the context.
@@ -200,55 +239,117 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         self.ex.params()
     }
 
-    /// The enumerated runs.
-    pub fn runs(&self) -> &[EnumRun<E>] {
-        &self.runs
+    /// The interned run store backing this system.
+    pub fn store(&self) -> &RunStore<E> {
+        &self.store
+    }
+
+    /// Number of runs in the system.
+    pub fn run_count(&self) -> usize {
+        self.store.run_count()
+    }
+
+    /// Number of distinct local states across all agents and points.
+    pub fn distinct_states(&self) -> usize {
+        self.store.distinct_states()
     }
 
     /// The horizon (number of rounds per run).
     pub fn horizon(&self) -> u32 {
-        self.horizon
+        self.store.horizon()
     }
 
     /// Total number of points.
     pub fn point_count(&self) -> usize {
-        self.runs.len() * (self.horizon as usize + 1)
+        self.store.point_count()
     }
 
     /// The point id of `(run, time)`.
     pub fn point(&self, run: usize, time: u32) -> PointId {
-        debug_assert!(run < self.runs.len() && time <= self.horizon);
-        (run * (self.horizon as usize + 1) + time as usize) as PointId
+        debug_assert!(run < self.run_count() && time <= self.horizon());
+        (run * (self.horizon() as usize + 1) + time as usize) as PointId
     }
 
     /// The run index of a point.
     pub fn run_of(&self, point: PointId) -> usize {
-        point as usize / (self.horizon as usize + 1)
+        point as usize / (self.horizon() as usize + 1)
     }
 
     /// The time of a point.
     pub fn time_of(&self, point: PointId) -> u32 {
-        (point as usize % (self.horizon as usize + 1)) as u32
+        (point as usize % (self.horizon() as usize + 1)) as u32
     }
 
-    /// Agent `i`'s local state at a point.
+    /// The nonfaulty set `N` of a run.
+    pub fn nonfaulty(&self, run: usize) -> AgentSet {
+        self.store.nonfaulty(run)
+    }
+
+    /// The initial preferences of a run.
+    pub fn inits(&self, run: usize) -> &[Value] {
+        self.store.inits(run)
+    }
+
+    /// Agent `i`'s local state at a point, resolved through the arena.
     pub fn local_state(&self, point: PointId, agent: AgentId) -> &E::State {
-        &self.runs[self.run_of(point)].states[self.time_of(point) as usize][agent.index()]
+        self.store.state(agent.index(), point as usize)
+    }
+
+    /// The interned id of `agent`'s local state at a point. Ids are equal
+    /// iff the states are equal, so this is the cheap key for per-state
+    /// memo tables (see [`StateId::index`]).
+    pub fn state_id(&self, point: PointId, agent: AgentId) -> StateId {
+        self.store.state_id(agent.index(), point as usize)
     }
 
     /// The action agent `i` performs at a point (i.e. in round `m + 1`);
     /// `None` at the horizon (no action recorded there).
     pub fn action_at(&self, point: PointId, agent: AgentId) -> Option<Action> {
         let m = self.time_of(point);
-        if m >= self.horizon {
+        if m >= self.horizon() {
             return None;
         }
-        Some(self.runs[self.run_of(point)].actions[m as usize][agent.index()])
+        Some(self.store.action(self.run_of(point), m, agent.index()))
     }
 
-    /// The `decided_i` component at a point.
+    /// The `decided_i` component at a point (a per-distinct-state memo
+    /// lookup, not a state read).
     pub fn decided_at(&self, point: PointId, agent: AgentId) -> Option<Value> {
-        self.ex.decided(self.local_state(point, agent))
+        self.decided_by_state[self.state_id(point, agent).index()]
+    }
+
+    /// The `decided` component once per distinct state, keyed by
+    /// [`StateId::index`] — computed at construction, shared by every
+    /// proposition evaluation.
+    pub fn decided_table(&self) -> &[Option<Value>] {
+        &self.decided_by_state
+    }
+
+    /// A table of `f` evaluated once per **distinct** state, indexed by
+    /// [`StateId::index`] — the memoization pattern the interned arena
+    /// enables: propositions over millions of points collapse to one
+    /// computation per distinct state plus an id lookup per point.
+    pub fn per_state_table<T>(&self, f: impl Fn(&E::State) -> T) -> Vec<T> {
+        self.store.arena().states().iter().map(f).collect()
+    }
+
+    /// The canonical class partition of `agent`: every class sorted
+    /// ascending, classes ordered by their smallest point. Class storage
+    /// order is an implementation detail (the arena path orders classes
+    /// by `StateId`, the legacy path by state hash), so equivalence
+    /// checks compare this canonical form.
+    pub fn class_partition(&self, agent: AgentId) -> Vec<Vec<PointId>> {
+        let cls = &self.classes[agent.index()];
+        let mut partition: Vec<Vec<PointId>> = (0..cls.starts.len() - 1)
+            .map(|c| {
+                let mut span =
+                    cls.points[cls.starts[c] as usize..cls.starts[c + 1] as usize].to_vec();
+                span.sort_unstable();
+                span
+            })
+            .collect();
+        partition.sort_unstable();
+        partition
     }
 
     /// `K_agent`: the set of points where everything in `inner` holds at
@@ -275,8 +376,8 @@ impl<E: InformationExchange> InterpretedSystem<E> {
             .collect();
         let mut out = BitSet::new(self.point_count());
         for pid in 0..self.point_count() {
-            let run = &self.runs[self.run_of(pid as PointId)];
-            if run.nonfaulty.iter().all(|j| knows[j.index()].contains(pid)) {
+            let nonfaulty = self.nonfaulty(self.run_of(pid as PointId));
+            if nonfaulty.iter().all(|j| knows[j.index()].contains(pid)) {
                 out.insert(pid);
             }
         }
@@ -298,6 +399,96 @@ impl<E: InformationExchange> InterpretedSystem<E> {
             x = next;
         }
     }
+}
+
+/// Classes from the interned store: per agent, sort packed
+/// `(StateId, PointId)` keys — a single `u64` sort — and split on id
+/// boundaries. No hashing, no state comparisons, no per-span
+/// partitioning: interning already established that equal ids are
+/// exactly equal states.
+fn classes_from_store<E: InformationExchange>(store: &RunStore<E>) -> Vec<AgentClasses> {
+    let point_count = store.point_count();
+    (0..store.agents())
+        .map(|i| {
+            let mut keys: Vec<u64> = (0..point_count)
+                .map(|p| (u64::from(store.state_id(i, p).raw()) << 32) | p as u64)
+                .collect();
+            keys.sort_unstable();
+            let mut points = Vec::with_capacity(point_count);
+            let mut starts = vec![0u32];
+            let mut idx = 0usize;
+            while idx < keys.len() {
+                let id = keys[idx] >> 32;
+                while idx < keys.len() && keys[idx] >> 32 == id {
+                    points.push(keys[idx] as PointId); // truncates to the low 32 bits
+                    idx += 1;
+                }
+                starts.push(points.len() as u32);
+            }
+            AgentClasses { points, starts }
+        })
+        .collect()
+}
+
+/// The legacy classifier over a collected run vector: group points by
+/// agent-local state via hash-sort, then split hash-equal spans by exact
+/// equality. Kept as the independent oracle for the arena classes.
+///
+/// Two hot-loop fixes over the original: each state is hashed exactly
+/// once, in one pass hoisted out of the grouping loop, and hash-equal
+/// spans are grouped by a single linear bucket walk instead of repeatedly
+/// `partition`ing the remainder (which was quadratic in span size and
+/// allocated two fresh vectors per class).
+fn classes_from_runs<E: InformationExchange>(
+    runs: &[EnumRun<E>],
+    horizon: u32,
+    n: usize,
+) -> Vec<AgentClasses> {
+    let per_run = horizon as usize + 1;
+    let point_count = runs.len() * per_run;
+    (0..n)
+        .map(|i| {
+            let mut hashed: Vec<(u64, PointId)> = Vec::with_capacity(point_count);
+            for (r, run) in runs.iter().enumerate() {
+                for (m, row) in run.states.iter().enumerate() {
+                    let mut h = DefaultHasher::new();
+                    row[i].hash(&mut h);
+                    hashed.push((h.finish(), (r * per_run + m) as PointId));
+                }
+            }
+            hashed.sort_unstable();
+            let state_of =
+                |pid: PointId| &runs[pid as usize / per_run].states[pid as usize % per_run][i];
+            let mut points = Vec::with_capacity(point_count);
+            let mut starts = vec![0u32];
+            let mut span_start = 0usize;
+            while span_start < hashed.len() {
+                let hash = hashed[span_start].0;
+                let mut span_end = span_start;
+                while span_end < hashed.len() && hashed[span_end].0 == hash {
+                    span_end += 1;
+                }
+                // Group the (almost always single-state) span in one
+                // linear walk over per-state buckets.
+                let mut buckets: Vec<Vec<PointId>> = Vec::with_capacity(1);
+                'points: for &(_, pid) in &hashed[span_start..span_end] {
+                    for bucket in &mut buckets {
+                        if state_of(bucket[0]) == state_of(pid) {
+                            bucket.push(pid);
+                            continue 'points;
+                        }
+                    }
+                    buckets.push(vec![pid]);
+                }
+                for bucket in buckets {
+                    points.extend_from_slice(&bucket);
+                    starts.push(points.len() as u32);
+                }
+                span_start = span_end;
+            }
+            AgentClasses { points, starts }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -326,11 +517,43 @@ mod tests {
                 parallelism,
             )
             .unwrap();
-            assert_eq!(via_ctx.runs().len(), legacy.runs().len());
-            for (a, b) in via_ctx.runs().iter().zip(legacy.runs()) {
-                assert_eq!(a.nonfaulty, b.nonfaulty);
-                assert_eq!(a.states, b.states);
+            assert_eq!(via_ctx.run_count(), legacy.run_count());
+            for r in 0..legacy.run_count() {
+                assert_eq!(via_ctx.nonfaulty(r), legacy.nonfaulty(r));
+                for m in 0..=4 {
+                    let (p, q) = (via_ctx.point(r, m), legacy.point(r, m));
+                    for i in 0..3 {
+                        let agent = AgentId::new(i);
+                        assert_eq!(via_ctx.local_state(p, agent), legacy.local_state(q, agent));
+                    }
+                }
             }
+        }
+    }
+
+    #[test]
+    fn arena_classes_match_the_legacy_oracle() {
+        // The headline tentpole guarantee, in-module: the single-sort
+        // arena classes partition points exactly like the hash-then-group
+        // classifier over the collected run vector.
+        let params = Params::new(3, 1).unwrap();
+        let streamed = InterpretedSystem::from_context(
+            Context::basic(params),
+            4,
+            1_000_000,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let ctx = Context::basic(params);
+        let runs = enumerate_runs(ctx.exchange(), ctx.protocol(), 4, 1_000_000).unwrap();
+        let legacy = InterpretedSystem::from_runs(BasicExchange::new(params), runs, 4).unwrap();
+        for i in 0..3 {
+            let agent = AgentId::new(i);
+            assert_eq!(
+                streamed.class_partition(agent),
+                legacy.class_partition(agent),
+                "agent {i}"
+            );
         }
     }
 
@@ -358,23 +581,23 @@ mod tests {
             Parallelism::Sequential,
         )
         .unwrap();
-        assert_eq!(free.runs().len(), 8);
-        assert!(!crash.runs().is_empty());
-        assert!(crash.runs().len() < so.runs().len());
-        assert!(free.runs().len() < crash.runs().len());
+        assert_eq!(free.run_count(), 8);
+        assert!(crash.run_count() > 0);
+        assert!(crash.run_count() < so.run_count());
+        assert!(free.run_count() < crash.run_count());
     }
 
     #[test]
     fn point_arithmetic_roundtrips() {
         let sys = small_system();
-        for run in [0usize, 1, sys.runs().len() - 1] {
+        for run in [0usize, 1, sys.run_count() - 1] {
             for time in 0..=4 {
                 let p = sys.point(run, time);
                 assert_eq!(sys.run_of(p), run);
                 assert_eq!(sys.time_of(p), time);
             }
         }
-        assert_eq!(sys.point_count(), sys.runs().len() * 5);
+        assert_eq!(sys.point_count(), sys.run_count() * 5);
     }
 
     #[test]
@@ -395,8 +618,10 @@ mod tests {
                 assert!(!span.is_empty());
                 let agent = AgentId::new(i);
                 let s0 = sys.local_state(span[0], agent);
+                let id0 = sys.state_id(span[0], agent);
                 for p in span {
                     assert_eq!(sys.local_state(*p, agent), s0);
+                    assert_eq!(sys.state_id(*p, agent), id0, "ids mirror state equality");
                 }
             }
         }
@@ -423,8 +648,7 @@ mod tests {
         let sys = small_system();
         let mut x = BitSet::new(sys.point_count());
         for pid in 0..sys.point_count() {
-            let run = &sys.runs()[sys.run_of(pid as PointId)];
-            if run.inits[0] == Value::One {
+            if sys.inits(sys.run_of(pid as PointId))[0] == Value::One {
                 x.insert(pid);
             }
         }
@@ -442,8 +666,7 @@ mod tests {
         // X = "some agent has initial preference 1".
         let mut x = BitSet::new(sys.point_count());
         for pid in 0..sys.point_count() {
-            let run = &sys.runs()[sys.run_of(pid as PointId)];
-            if run.inits.contains(&Value::One) {
+            if sys.inits(sys.run_of(pid as PointId)).contains(&Value::One) {
                 x.insert(pid);
             }
         }
@@ -460,5 +683,33 @@ mod tests {
         top.fill();
         let c = sys.common_nonfaulty_set(&top);
         assert_eq!(c.count(), sys.point_count());
+    }
+
+    #[test]
+    fn from_runs_rejects_horizon_mismatches() {
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let proto = PMin::new(params);
+        let runs = enumerate_runs(&ex, &proto, 4, 1_000_000).unwrap();
+        let err = match InterpretedSystem::from_runs(MinExchange::new(params), runs, 3) {
+            Err(e) => e,
+            Ok(_) => panic!("horizon mismatch must be rejected"),
+        };
+        assert!(err.to_string().contains("horizon mismatch"), "{err}");
+    }
+
+    #[test]
+    fn per_state_table_agrees_with_per_point_reads() {
+        let sys = small_system();
+        let decided = sys.per_state_table(|s| sys.exchange().decided(s));
+        for pid in 0..sys.point_count() as PointId {
+            for i in 0..3 {
+                let agent = AgentId::new(i);
+                assert_eq!(
+                    decided[sys.state_id(pid, agent).index()],
+                    sys.decided_at(pid, agent)
+                );
+            }
+        }
     }
 }

@@ -155,12 +155,11 @@ fn common_v_graph_condition_matches_brute_force_knowledge() {
     // sample of runs (every 17th), all times, all agents.
     let mut compared = 0usize;
     let mut positives = 0usize;
-    for r in (0..sys.runs().len()).step_by(17) {
-        let run = &sys.runs()[r];
+    for r in (0..sys.run_count()).step_by(17) {
         for m in 0..=sys.horizon() {
             for (iv, v) in Value::ALL.into_iter().enumerate() {
                 for i in params.agents() {
-                    let state = &run.states[m as usize][i.index()];
+                    let state = sys.local_state(sys.point(r, m), i);
                     let analysis = FipAnalysis::analyze(&state.graph, params, i);
                     let graph_says = analysis.common_knowledge_holds(v);
                     let logic_says = truth[iv][i.index()].contains(sys.point(r, m) as usize);

@@ -43,7 +43,7 @@ fn check_spec_validities<E: InformationExchange>(sys: &InterpretedSystem<E>) {
             Formula::Eventually(Box::new(Formula::not(Formula::DecidedIs(i, None)))),
         );
         let set = sys.eval(&terminate);
-        for r in 0..sys.runs().len() {
+        for r in 0..sys.run_count() {
             assert!(
                 set.contains(sys.point(r, 0) as usize),
                 "termination for {i} in run {r}"

@@ -1,0 +1,275 @@
+//! Machine-readable build/check benchmarks behind the experiments CLI's
+//! `--bench-json <path>` flag.
+//!
+//! The flag rides on the `--model` battery: after the human-readable
+//! table, the battery rows (streamed exhaustive-check timings and run
+//! counts) are augmented with a **streamed interpreted-system build** per
+//! stack — `InterpretedSystem::from_context` through the interned
+//! [`RunStore`] — recording point counts,
+//! distinct-state counts, build time, and the time to model-check the
+//! EBA validities over the resulting system. Everything is written as a
+//! single self-describing JSON document (schema `eba-bench-v1`), seeding
+//! a `BENCH_*.json` trajectory CI can diff across commits.
+//!
+//! Stacks whose run set exceeds [`SYSTEM_BUILD_LIMIT`] keep their
+//! streamed spec-check verdict but skip the system build (`"system":
+//! null`): the 25.2M-run `E_fip/P_opt@general_omission` context streams
+//! to a verdict in minutes, but a 126M-point system is not worth
+//! building inside a battery row.
+
+use std::io::Write as _;
+
+use eba_core::prelude::*;
+use eba_epistemic::prelude::*;
+use eba_sim::prelude::*;
+
+use crate::model_battery::ModelBatteryRow;
+
+/// Run-count ceiling above which the per-stack system build is skipped
+/// (the streamed spec check still runs to its own budget).
+pub const SYSTEM_BUILD_LIMIT: usize = 2_000_000;
+
+/// Measurements of one streamed interpreted-system build.
+#[derive(Clone, Debug)]
+pub struct SystemBuild {
+    /// Runs in the system.
+    pub runs: usize,
+    /// Points (`runs * (horizon + 1)`).
+    pub points: usize,
+    /// Distinct interned local states across all agents and points.
+    pub distinct_states: usize,
+    /// Wall-clock seconds to stream-build the system (enumeration +
+    /// interning + classes).
+    pub build_seconds: f64,
+    /// Wall-clock seconds to model-check the EBA validities over it.
+    pub check_seconds: f64,
+    /// Whether Agreement and strong Validity are valid in the system.
+    pub spec_valid: bool,
+}
+
+/// A battery row plus its optional system build.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// The underlying battery row (streamed check timings + counts).
+    pub row: ModelBatteryRow,
+    /// The system build, when the run set fit [`SYSTEM_BUILD_LIMIT`].
+    pub system: Option<SystemBuild>,
+}
+
+struct BuildSystem {
+    horizon: u32,
+}
+
+impl StackVisitor for BuildSystem {
+    type Output = Result<SystemBuild, EbaError>;
+
+    fn visit<E, P>(self, ctx: &Context<E, P>) -> Result<SystemBuild, EbaError>
+    where
+        E: InformationExchange + Clone + Sync + 'static,
+        P: ActionProtocol<E> + Clone + Sync + 'static,
+    {
+        let n = ctx.params().n();
+        let t0 = std::time::Instant::now();
+        let sys = InterpretedSystem::from_context(
+            ctx.clone(),
+            self.horizon,
+            SYSTEM_BUILD_LIMIT,
+            Parallelism::Auto,
+        )?;
+        let build_seconds = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let mut spec_valid = true;
+        for i in AgentId::all(n) {
+            for j in AgentId::all(n) {
+                let agree = Formula::not(Formula::And(vec![
+                    Formula::Nonfaulty(i),
+                    Formula::Nonfaulty(j),
+                    Formula::DecidedIs(i, Some(Value::Zero)),
+                    Formula::DecidedIs(j, Some(Value::One)),
+                ]));
+                spec_valid &= sys.valid(&agree);
+            }
+            for v in Value::ALL {
+                let validity =
+                    Formula::implies(Formula::DecidedIs(i, Some(v)), Formula::ExistsInit(v));
+                spec_valid &= sys.valid(&validity);
+            }
+        }
+        Ok(SystemBuild {
+            runs: sys.run_count(),
+            points: sys.point_count(),
+            distinct_states: sys.distinct_states(),
+            build_seconds,
+            check_seconds: t1.elapsed().as_secs_f64(),
+            spec_valid,
+        })
+    }
+}
+
+/// Augments battery rows with streamed system builds (where the run set
+/// fits) for the four registered stacks under `model` at `(n, t)`.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidParams`] for invalid `(n, t)`; a system
+/// build that fails (e.g. exceeding its own budget between the battery
+/// and this pass) simply yields `system: None` for that row.
+pub fn collect(
+    model: FailureModel,
+    n: usize,
+    t: usize,
+    rows: &[ModelBatteryRow],
+) -> Result<Vec<BenchRecord>, EbaError> {
+    let params = Params::new(n, t)?;
+    let horizon = params.default_horizon();
+    rows.iter()
+        .map(|row| {
+            let buildable = matches!(&row.enumerated_runs, Ok(runs) if *runs <= SYSTEM_BUILD_LIMIT);
+            let system = if buildable {
+                let stack = NamedStack::by_name(&row.stack, params)?;
+                debug_assert_eq!(stack.model(), model);
+                stack.visit(BuildSystem { horizon }).ok()
+            } else {
+                None
+            };
+            Ok(BenchRecord {
+                row: row.clone(),
+                system,
+            })
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+/// Renders the records as the `eba-bench-v1` JSON document. `horizon`
+/// must be the horizon the records were measured at
+/// (`Params::default_horizon()` everywhere in this crate).
+pub fn render(
+    model: FailureModel,
+    n: usize,
+    t: usize,
+    horizon: u32,
+    records: &[BenchRecord],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"eba-bench-v1\",\n");
+    out.push_str(&format!("  \"model\": \"{model}\",\n"));
+    out.push_str(&format!(
+        "  \"n\": {n},\n  \"t\": {t},\n  \"horizon\": {horizon},\n"
+    ));
+    out.push_str("  \"records\": [\n");
+    for (k, rec) in records.iter().enumerate() {
+        let row = &rec.row;
+        let (runs, points, skipped) = match &row.enumerated_runs {
+            Ok(total) => (
+                total.to_string(),
+                (total * (horizon as usize + 1)).to_string(),
+                "null".to_string(),
+            ),
+            Err(e) => (
+                "null".into(),
+                "null".into(),
+                format!("\"{}\"", json_escape(&e.to_string())),
+            ),
+        };
+        let system = match &rec.system {
+            None => "null".to_string(),
+            Some(s) => format!(
+                "{{ \"runs\": {}, \"points\": {}, \"distinct_states\": {}, \
+                 \"build_seconds\": {:.3}, \"check_seconds\": {:.3}, \"spec_valid\": {} }}",
+                s.runs, s.points, s.distinct_states, s.build_seconds, s.check_seconds, s.spec_valid
+            ),
+        };
+        out.push_str(&format!(
+            "    {{ \"stack\": \"{}\", \"failure_free_round\": {}, \
+             \"adversary_round\": {}, \"runs\": {}, \"points\": {}, \
+             \"spec_ok_runs\": {}, \"enum_seconds\": {:.3}, \"skipped\": {}, \
+             \"system\": {} }}{}\n",
+            json_escape(&row.stack),
+            opt_u32(row.failure_free_round),
+            opt_u32(row.adversary_round),
+            runs,
+            points,
+            row.spec_ok_runs,
+            row.enum_seconds,
+            skipped,
+            system,
+            if k + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the rendered document to `path`.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] if the file cannot be written.
+pub fn write(
+    path: &str,
+    model: FailureModel,
+    n: usize,
+    t: usize,
+    records: &[BenchRecord],
+) -> Result<(), EbaError> {
+    let doc = render(model, n, t, Params::new(n, t)?.default_horizon(), records);
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| EbaError::InvalidInput(format!("--bench-json {path}: {e}")))?;
+    file.write_all(doc.as_bytes())
+        .map_err(|e| EbaError::InvalidInput(format!("--bench-json {path}: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_battery;
+
+    #[test]
+    fn records_cover_every_stack_and_render_valid_shape() {
+        // Failure-free keeps the debug-mode cost trivial: 8 runs per
+        // stack, every system buildable.
+        let (rows, _) = model_battery::run(FailureModel::FailureFree, 3, 1).unwrap();
+        let records = collect(FailureModel::FailureFree, 3, 1, &rows).unwrap();
+        assert_eq!(records.len(), 4);
+        for rec in &records {
+            let sys = rec.system.as_ref().expect("tiny system builds");
+            assert_eq!(sys.runs, 8);
+            assert_eq!(sys.points, 8 * 5);
+            assert!(sys.distinct_states > 0);
+            assert!(sys.spec_valid, "{}", rec.row.stack);
+        }
+        let horizon = Params::new(3, 1).unwrap().default_horizon();
+        let doc = render(FailureModel::FailureFree, 3, 1, horizon, &records);
+        assert!(doc.contains("\"schema\": \"eba-bench-v1\""));
+        assert!(doc.contains("\"stack\": \"E_fip/P_opt@failure_free\""));
+        assert!(doc.contains("\"distinct_states\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn oversized_run_sets_skip_the_system_build() {
+        // A tiny budget forces the battery row into the skipped state;
+        // the record must then carry no system build.
+        let (rows, _) = model_battery::run_with_limit(FailureModel::FailureFree, 3, 1, 4).unwrap();
+        let records = collect(FailureModel::FailureFree, 3, 1, &rows).unwrap();
+        for rec in &records {
+            assert!(rec.row.enumerated_runs.is_err());
+            assert!(rec.system.is_none());
+        }
+        let horizon = Params::new(3, 1).unwrap().default_horizon();
+        let doc = render(FailureModel::FailureFree, 3, 1, horizon, &records);
+        assert!(doc.contains("\"system\": null"));
+        assert!(doc.contains("\"skipped\": \"invalid input"));
+    }
+}

@@ -67,7 +67,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             ctx,
             params.default_horizon(),
             10_000_000,
-            Parallelism::Sequential,
+            Parallelism::Auto,
         )
         .expect("enumerable");
         let report = check_implements(&sys, &proto, program);
@@ -88,7 +88,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             ctx,
             params.default_horizon(),
             10_000_000,
-            Parallelism::Sequential,
+            Parallelism::Auto,
         )
         .expect("enumerable");
         let report = check_implements(&sys, &proto, program);
@@ -118,7 +118,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             ctx,
             params.default_horizon(),
             10_000_000,
-            Parallelism::Sequential,
+            Parallelism::Auto,
         )
         .expect("enumerable");
         for program in [KnowledgeBasedProgram::P1, KnowledgeBasedProgram::P0] {

@@ -6,6 +6,13 @@
 //! of the faults at time 1, common knowledge (checked by the `common_v`
 //! condition, Lemma A.20) at time 2, decision in round 3 — while the
 //! limited-information protocols must wait `t + 2` rounds.
+//!
+//! The polynomial `common_v` condition used here is itself verified
+//! against brute-force `C_N` model checking over the complete (streamed,
+//! arena-backed) interpreted system in
+//! `crates/epistemic/tests/paper_lemmas.rs`, which is what licenses this
+//! experiment's graph-level shortcut at scales (`n` up to 20) no
+//! exhaustive run set could reach.
 
 use eba_core::graph::FipAnalysis;
 use eba_core::prelude::*;

@@ -27,7 +27,9 @@
 //! measures decision time and validity of all four stacks under a
 //! selected [`FailureModel`](eba_core::failures::FailureModel). The two
 //! flags compose: `-- --stack E_fip/P_opt --model general` summarizes one
-//! stack in one model.
+//! stack in one model. `-- --model <m> --bench-json <path>` additionally
+//! writes machine-readable build/check timings and point counts (see
+//! [`bench_json`]), seeding the `BENCH_*.json` trajectory.
 //!
 //! Every experiment drives the protocols through the first-class
 //! `Context`/`Scenario` API:
@@ -48,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod bench_json;
 pub mod e1_bits;
 pub mod e2_failure_free_zero;
 pub mod e3_failure_free_ones;

@@ -50,8 +50,9 @@ pub struct StackSummary {
 }
 
 /// Per-context half of the battery: everything that doesn't need a wire
-/// codec — the shared core of [`measure_stack`], with a larger run cap
-/// so the ~98k-run `E_fip/P_opt` `SO(1)` context is checked in full.
+/// codec — the shared core of [`measure_stack`], with the full streaming
+/// budget so even the 25.2M-run `E_fip/P_opt@general_omission` context
+/// is checked to a real verdict (nothing is ever collected).
 struct Battery;
 
 impl StackVisitor for Battery {
@@ -60,11 +61,9 @@ impl StackVisitor for Battery {
     fn visit<E, P>(self, ctx: &Context<E, P>) -> CoreMeasurements
     where
         E: InformationExchange + Clone + Sync + 'static,
-        E::State: Send + Sync,
-        E::Message: Send + Sync,
         P: ActionProtocol<E> + Clone + Sync + 'static,
     {
-        measure_stack(ctx, 2_000_000)
+        measure_stack(ctx, crate::model_battery::DEFAULT_ENUM_LIMIT)
     }
 }
 

@@ -144,7 +144,6 @@ pub fn enumerate_into<E, P, S>(
 ) -> Result<usize, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
     S: RunSink<E>,
 {
@@ -177,7 +176,6 @@ pub fn enumerate_model_into<E, P, S>(
 ) -> Result<usize, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
     S: RunSink<E>,
 {
@@ -205,7 +203,6 @@ fn stream_runs<E, P, S>(
 ) -> Result<usize, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
     S: RunSink<E>,
 {
@@ -262,7 +259,6 @@ fn stream_parallel<E, P, S>(
 ) -> Result<usize, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
     S: RunSink<E>,
 {
@@ -373,7 +369,6 @@ pub fn enumerate_parallel<E, P>(
 ) -> Result<Vec<EnumRun<E>>, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
     let mut runs: Vec<EnumRun<E>> = Vec::new();
@@ -406,7 +401,6 @@ pub fn enumerate_with<E, P>(
 ) -> Result<Vec<EnumRun<E>>, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
     enumerate_parallel(ex, proto, horizon, limit, opts.parallelism)
@@ -922,7 +916,6 @@ mod tests {
     ) -> Vec<(u128, Vec<Vec<E::State>>)>
     where
         E: InformationExchange + Sync,
-        E::State: Send + Clone,
         P: ActionProtocol<E> + Sync,
     {
         let mut keys = Vec::new();

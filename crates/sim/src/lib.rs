@@ -23,7 +23,12 @@
 //!   `eba-epistemic` to build interpreted systems; sequential or sharded
 //!   across threads ([`enumerate::enumerate_parallel`]) with bit-for-bit
 //!   identical output, or streamed through a [`sink::RunSink`] without
-//!   collecting ([`enumerate::enumerate_into`]).
+//!   collecting ([`enumerate::enumerate_into`]);
+//! * [`store`] — the interned, columnar [`store::RunStore`]: a
+//!   [`store::StateArena`] keeps each distinct local state once behind a
+//!   [`store::StateId`], and the store is itself a [`sink::RunSink`], so
+//!   complete run sets stream into deduplicated storage without the run
+//!   vector ever materializing.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sink;
 pub mod spec;
+pub mod store;
 pub mod trace;
 
 /// Convenient re-exports of the most commonly used items.
@@ -66,5 +72,6 @@ pub mod prelude {
     pub use crate::scenario::Scenario;
     pub use crate::sink::RunSink;
     pub use crate::spec::{check_decides_by, check_eba, check_validity_all, SpecViolation};
+    pub use crate::store::{PointId, RunStore, StateArena, StateId};
     pub use crate::trace::{Delivery, MsgClass, Trace};
 }

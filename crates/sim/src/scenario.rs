@@ -21,6 +21,7 @@ use eba_core::types::{EbaError, Value};
 use crate::enumerate::{enumerate_model_into, EnumRun};
 use crate::runner::{run, Parallelism, SimOptions};
 use crate::sink::RunSink;
+use crate::store::RunStore;
 use crate::trace::Trace;
 
 /// Default run limit for exhaustive enumeration (same ballpark the test
@@ -231,7 +232,6 @@ where
     pub fn enumerate(&self) -> Result<Vec<EnumRun<E>>, EbaError>
     where
         E: Sync,
-        E::State: Send,
         P: Sync,
     {
         let mut runs = Vec::new();
@@ -250,7 +250,6 @@ where
     pub fn enumerate_into<S>(&self, sink: &mut S) -> Result<usize, EbaError>
     where
         E: Sync,
-        E::State: Send,
         P: Sync,
         S: RunSink<E>,
     {
@@ -262,6 +261,29 @@ where
             self.opts.parallelism,
             sink,
         )
+    }
+
+    /// Streams every run of the context into an interned, columnar
+    /// [`RunStore`] — the arena-feeding face of
+    /// [`enumerate_into`](Scenario::enumerate_into): each run is interned
+    /// on arrival and dropped, so peak memory is the arena of distinct
+    /// states plus one `u32` per `(agent, point)`, never the run vector.
+    ///
+    /// This is what `InterpretedSystem::from_context` builds on in
+    /// `eba-epistemic`.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`enumerate`](Scenario::enumerate) fails, or
+    /// when the run set overflows the store's `u32` point-id space.
+    pub fn enumerate_store(&self) -> Result<RunStore<E>, EbaError>
+    where
+        E: Sync,
+        P: Sync,
+    {
+        let mut store = RunStore::new(self.ctx.params().n(), self.effective_horizon());
+        self.enumerate_into(&mut store)?;
+        Ok(store)
     }
 
     fn effective_pattern(&self) -> FailurePattern {

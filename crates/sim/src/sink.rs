@@ -9,9 +9,10 @@
 //! run set to the largest single work item (one `(N, inits)` shard of the
 //! search space).
 //!
-//! `Vec<EnumRun<E>>` itself is a sink (it collects), and so is any
-//! `FnMut(EnumRun<E>) -> Result<(), EbaError>` closure, so ad-hoc folds
-//! need no wrapper type:
+//! `Vec<EnumRun<E>>` itself is a sink (it collects), so is any
+//! `FnMut(EnumRun<E>) -> Result<(), EbaError>` closure, and so is the
+//! interning [`RunStore`](crate::store::RunStore) (it deduplicates states
+//! into an arena as runs arrive); ad-hoc folds need no wrapper type:
 //!
 //! ```
 //! use eba_core::prelude::*;

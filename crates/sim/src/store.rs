@@ -1,0 +1,413 @@
+//! Interned, columnar storage for enumerated run sets.
+//!
+//! The epistemic model checker historically kept every enumerated run as
+//! a `Vec<Vec<E::State>>` — each point's local state cloned into its run,
+//! even though the overwhelming majority of local states repeat across
+//! runs (two runs that differ only in a late drop share every earlier
+//! state, and a single agent's view often coincides across thousands of
+//! adversary choices). [`RunStore`] deduplicates that storage:
+//!
+//! * a [`StateArena`] interns each distinct `E::State` **once**, behind a
+//!   dense [`StateId`] (a `u32`);
+//! * a columnar point table `state_ids[agent][point]` maps every point of
+//!   the system to the interned id of that agent's local state there;
+//! * per-run metadata (`nonfaulty`, `inits`, `actions`) is kept in flat
+//!   run-major arrays.
+//!
+//! `RunStore` is a [`RunSink`], so it can be fed **incrementally** by the
+//! streaming enumeration engine
+//! ([`enumerate_into`](crate::enumerate::enumerate_into), or
+//! [`Scenario::enumerate_store`](crate::scenario::Scenario::enumerate_store)):
+//! each [`EnumRun`] is interned on arrival and dropped, so the full
+//! `Vec<EnumRun<E>>` never exists. Peak memory is the arena (distinct
+//! states) plus `4`-byte ids per `(agent, point)` — for the ~98k-run
+//! `E_fip/P_opt` `(3, 1)` context that replaces ~1.47M stored
+//! full-information states with ~68k distinct ones (measured: 47 MiB
+//! peak RSS streamed vs 290 MiB collected; see
+//! `examples/memory_layout.rs`).
+//!
+//! Interned ids also make downstream work cheaper: two points have equal
+//! local states **iff** their `StateId`s are equal, so indistinguishability
+//! classes fall out of a single integer sort and per-state computations
+//! (`decided`, `init`, protocol actions) can be memoized per distinct
+//! state instead of per point.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use eba_core::exchange::InformationExchange;
+use eba_core::types::{Action, AgentSet, EbaError, Value};
+
+use crate::enumerate::EnumRun;
+use crate::sink::RunSink;
+
+/// Identifier of a point `(r, m)`: `r * (horizon + 1) + m`.
+pub type PointId = u32;
+
+/// Dense identifier of an interned state in a [`StateArena`].
+///
+/// Ids are assigned in first-occurrence order; two ids are equal iff the
+/// interned states are equal, so `StateId` comparison replaces full state
+/// comparison everywhere downstream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The arena slot, for indexing per-state memo tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw id, for packing into integer sort keys.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Interns values so each distinct one is stored exactly once.
+///
+/// The reverse index is a hash-bucket map (`hash → candidate ids`), not a
+/// `HashMap<S, StateId>`, so every state is held in memory once — in the
+/// dense `states` vector — rather than duplicated as a map key.
+#[derive(Clone, Debug)]
+pub struct StateArena<S> {
+    states: Vec<S>,
+    index: HashMap<u64, Vec<StateId>>,
+}
+
+impl<S: Clone + Eq + Hash> StateArena<S> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        StateArena {
+            states: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Returns the id of `state`, interning a clone on first sight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] if the arena already holds
+    /// `u32::MAX` distinct states (the id space is exhausted).
+    pub fn intern(&mut self, state: &S) -> Result<StateId, EbaError> {
+        let mut h = DefaultHasher::new();
+        state.hash(&mut h);
+        let bucket = self.index.entry(h.finish()).or_default();
+        for &id in bucket.iter() {
+            if &self.states[id.index()] == state {
+                return Ok(id);
+            }
+        }
+        if self.states.len() >= u32::MAX as usize {
+            return Err(EbaError::InvalidInput(
+                "state arena exhausted: more than u32::MAX distinct states".into(),
+            ));
+        }
+        let id = StateId(self.states.len() as u32);
+        self.states.push(state.clone());
+        bucket.push(id);
+        Ok(id)
+    }
+
+    /// The interned state behind `id`.
+    pub fn get(&self, id: StateId) -> &S {
+        &self.states[id.index()]
+    }
+
+    /// All interned states, dense in id order — index with
+    /// [`StateId::index`] to build per-state memo tables.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+impl<S: Clone + Eq + Hash> Default for StateArena<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fails with [`EbaError::InvalidInput`] when a system of `runs` runs at
+/// `horizon` would overflow the `u32` [`PointId`] space.
+///
+/// Point ids are `run * (horizon + 1) + time`, and class offsets are
+/// stored as `u32` counts of points, so both need
+/// `runs * (horizon + 1) ≤ u32::MAX`. Checked by every system
+/// constructor instead of silently truncating ids.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] naming the overflowing product.
+pub fn ensure_point_capacity(runs: usize, horizon: u32) -> Result<(), EbaError> {
+    let per_run = horizon as usize + 1;
+    match runs.checked_mul(per_run) {
+        Some(points) if points <= u32::MAX as usize => Ok(()),
+        _ => Err(EbaError::InvalidInput(format!(
+            "system too large: {runs} runs x {per_run} points per run \
+             exceeds the u32 point-id space"
+        ))),
+    }
+}
+
+/// An interned, columnar run set: the streaming-friendly backbone the
+/// epistemic layer builds interpreted systems on.
+///
+/// Feed it runs through [`RunSink`] (it accepts each [`EnumRun`] and
+/// drops it after interning) or [`RunStore::push_run`], then read points
+/// back through the accessors. Point ids follow the usual layout
+/// `run * (horizon + 1) + time`.
+///
+/// ```
+/// use eba_core::prelude::*;
+/// use eba_sim::prelude::*;
+///
+/// # fn main() -> Result<(), EbaError> {
+/// let ctx = Context::minimal(Params::new(3, 0)?);
+/// let store: RunStore<MinExchange> = Scenario::of(&ctx).horizon(3).enumerate_store()?;
+/// assert_eq!(store.run_count(), 8); // 2^3 initial configurations
+/// assert_eq!(store.point_count(), 8 * 4);
+/// // Far fewer distinct states than (agent, point) slots:
+/// assert!(store.distinct_states() < 3 * store.point_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunStore<E: InformationExchange> {
+    n: usize,
+    horizon: u32,
+    arena: StateArena<E::State>,
+    /// `state_ids[agent][point]`: columnar point table.
+    state_ids: Vec<Vec<StateId>>,
+    /// `nonfaulty[run]`.
+    nonfaulty: Vec<AgentSet>,
+    /// `inits[run * n + agent]`.
+    inits: Vec<Value>,
+    /// `actions[(run * horizon + round) * n + agent]`.
+    actions: Vec<Action>,
+}
+
+impl<E: InformationExchange> RunStore<E> {
+    /// An empty store for systems of `n` agents at `horizon`.
+    pub fn new(n: usize, horizon: u32) -> Self {
+        RunStore {
+            n,
+            horizon,
+            arena: StateArena::new(),
+            state_ids: vec![Vec::new(); n],
+            nonfaulty: Vec::new(),
+            inits: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Interns one run into the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError::InvalidInput`] if the run's shape disagrees
+    /// with the store (`horizon + 1` state rows of `n` states each,
+    /// `horizon` action rows), if the new run would overflow the `u32`
+    /// point-id space (see [`ensure_point_capacity`]), or if the arena
+    /// runs out of state ids.
+    pub fn push_run(&mut self, run: &EnumRun<E>) -> Result<(), EbaError> {
+        let per_run = self.horizon as usize + 1;
+        if run.states.len() != per_run
+            || run.states.iter().any(|row| row.len() != self.n)
+            || run.actions.len() != self.horizon as usize
+            || run.actions.iter().any(|row| row.len() != self.n)
+            || run.inits.len() != self.n
+        {
+            return Err(EbaError::InvalidInput(format!(
+                "run shape mismatch: expected {per_run} state rows x {n} \
+                 agents and {h} action rows, got {} x {} and {}",
+                run.states.len(),
+                run.states.first().map_or(0, Vec::len),
+                run.actions.len(),
+                n = self.n,
+                h = self.horizon,
+            )));
+        }
+        ensure_point_capacity(self.run_count() + 1, self.horizon)?;
+        for row in &run.states {
+            for (i, state) in row.iter().enumerate() {
+                let id = self.arena.intern(state)?;
+                self.state_ids[i].push(id);
+            }
+        }
+        self.nonfaulty.push(run.nonfaulty);
+        self.inits.extend_from_slice(&run.inits);
+        for row in &run.actions {
+            self.actions.extend_from_slice(row);
+        }
+        Ok(())
+    }
+
+    /// Number of agents.
+    pub fn agents(&self) -> usize {
+        self.n
+    }
+
+    /// The horizon (rounds per run).
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Number of interned runs.
+    pub fn run_count(&self) -> usize {
+        self.nonfaulty.len()
+    }
+
+    /// Total number of points, `runs * (horizon + 1)`.
+    pub fn point_count(&self) -> usize {
+        self.run_count() * (self.horizon as usize + 1)
+    }
+
+    /// Number of distinct local states across all agents and points.
+    pub fn distinct_states(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The arena holding every distinct state.
+    pub fn arena(&self) -> &StateArena<E::State> {
+        &self.arena
+    }
+
+    /// The interned id of `agent`'s local state at `point`.
+    pub fn state_id(&self, agent: usize, point: usize) -> StateId {
+        self.state_ids[agent][point]
+    }
+
+    /// `agent`'s local state at `point`, resolved through the arena.
+    pub fn state(&self, agent: usize, point: usize) -> &E::State {
+        self.arena.get(self.state_ids[agent][point])
+    }
+
+    /// The action `agent` performs in round `round + 1` of `run`.
+    pub fn action(&self, run: usize, round: u32, agent: usize) -> Action {
+        debug_assert!(round < self.horizon);
+        self.actions[(run * self.horizon as usize + round as usize) * self.n + agent]
+    }
+
+    /// The nonfaulty set of `run`.
+    pub fn nonfaulty(&self, run: usize) -> AgentSet {
+        self.nonfaulty[run]
+    }
+
+    /// The initial preferences of `run`.
+    pub fn inits(&self, run: usize) -> &[Value] {
+        &self.inits[run * self.n..(run + 1) * self.n]
+    }
+}
+
+/// Interning sink: the streaming enumeration engine feeds each run
+/// straight into the arena/columns; the run itself is dropped on return.
+impl<E: InformationExchange> RunSink<E> for RunStore<E> {
+    fn accept(&mut self, run: EnumRun<E>) -> Result<(), EbaError> {
+        self.push_run(&run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_runs;
+    use crate::runner::Parallelism;
+    use crate::scenario::Scenario;
+    use eba_core::prelude::*;
+
+    fn collected_and_stored() -> (Vec<EnumRun<MinExchange>>, RunStore<MinExchange>) {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let runs = enumerate_runs(ctx.exchange(), ctx.protocol(), 4, 100_000).unwrap();
+        let store = Scenario::of(&ctx)
+            .horizon(4)
+            .parallelism(Parallelism::Fixed(3))
+            .enumerate_store()
+            .unwrap();
+        (runs, store)
+    }
+
+    #[test]
+    fn store_reproduces_the_collected_enumeration() {
+        let (runs, store) = collected_and_stored();
+        assert_eq!(store.run_count(), runs.len());
+        assert_eq!(store.point_count(), runs.len() * 5);
+        for (r, run) in runs.iter().enumerate() {
+            assert_eq!(store.nonfaulty(r), run.nonfaulty);
+            assert_eq!(store.inits(r), &run.inits[..]);
+            for m in 0..=4usize {
+                let point = r * 5 + m;
+                for i in 0..3 {
+                    assert_eq!(store.state(i, point), &run.states[m][i]);
+                }
+            }
+            for m in 0..4u32 {
+                for i in 0..3 {
+                    assert_eq!(store.action(r, m, i), run.actions[m as usize][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_ids_agree_exactly_with_state_equality() {
+        let (runs, store) = collected_and_stored();
+        // Sample pairs across the whole table: ids equal ⟺ states equal.
+        let pc = store.point_count();
+        for i in 0..3usize {
+            for p in (0..pc).step_by(7) {
+                for q in (0..pc).step_by(13) {
+                    let same_id = store.state_id(i, p) == store.state_id(i, q);
+                    let same_state = runs[p / 5].states[p % 5][i] == runs[q / 5].states[q % 5][i];
+                    assert_eq!(same_id, same_state, "agent {i} points {p},{q}");
+                }
+            }
+        }
+        // And interning actually deduplicates.
+        assert!(store.distinct_states() < 3 * pc);
+    }
+
+    #[test]
+    fn arena_interns_each_distinct_value_once() {
+        let mut arena: StateArena<u64> = StateArena::new();
+        let a = arena.intern(&7).unwrap();
+        let b = arena.intern(&9).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(arena.intern(&7).unwrap(), a);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(*arena.get(b), 9);
+        assert_eq!(arena.states(), &[7, 9]);
+    }
+
+    #[test]
+    fn point_capacity_guard_rejects_u32_overflow() {
+        // Fine at the boundary…
+        ensure_point_capacity(u32::MAX as usize / 5, 4).unwrap();
+        // …but one run past it (or a usize-overflowing product) errors.
+        let err = ensure_point_capacity(u32::MAX as usize / 5 + 1, 4).unwrap_err();
+        assert!(err.to_string().contains("point-id space"), "{err}");
+        assert!(ensure_point_capacity(usize::MAX, u32::MAX).is_err());
+    }
+
+    #[test]
+    fn push_run_rejects_shape_mismatches() {
+        let ctx = Context::minimal(Params::new(3, 1).unwrap());
+        let runs = enumerate_runs(ctx.exchange(), ctx.protocol(), 4, 100_000).unwrap();
+        // A horizon-4 run cannot enter a horizon-3 store.
+        let mut store: RunStore<MinExchange> = RunStore::new(3, 3);
+        let err = store.push_run(&runs[0]).unwrap_err();
+        assert!(err.to_string().contains("run shape mismatch"), "{err}");
+        assert_eq!(store.run_count(), 0);
+    }
+}

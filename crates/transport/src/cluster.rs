@@ -77,7 +77,6 @@ pub fn run_cluster<E, P, C>(
 ) -> Result<TransportReport<E>, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
     C: WireCodec<E::Message>,
 {
@@ -246,7 +245,6 @@ pub fn run_context_cluster<E, P, C>(
 ) -> Result<TransportReport<E>, EbaError>
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
     C: WireCodec<E::Message>,
 {
@@ -466,8 +464,6 @@ mod tests {
                 fn visit<E, P>(self, ctx: &Context<E, P>) -> Self::Output
                 where
                     E: InformationExchange + Clone + Sync + 'static,
-                    E::State: Send + Sync,
-                    E::Message: Send + Sync,
                     P: ActionProtocol<E> + Clone + Sync + 'static,
                 {
                     let trace = Scenario::of(ctx)

@@ -1,0 +1,102 @@
+//! Measures the interned-arena memory layout against the legacy
+//! collected path on the full `E_fip/P_opt` `(3, 1)` system — the
+//! numbers behind the "memory layout & scaling" section of
+//! `docs/GUIDE.md`.
+//!
+//! One phase per process so the kernel's peak-RSS high-water mark
+//! (`VmHWM`) measures exactly that phase:
+//!
+//! ```text
+//! cargo run --release --example memory_layout -- streamed    # arena build
+//! cargo run --release --example memory_layout -- collected   # legacy build
+//! cargo run --release --example memory_layout -- fip41       # (4,1) reach
+//! ```
+
+use eba::core::kbp::KnowledgeBasedProgram;
+use eba::epistemic::prelude::*;
+use eba::prelude::*;
+
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(f64::NAN, |kb| kb / 1024.0)
+}
+
+fn report<E: eba::core::exchange::InformationExchange>(
+    label: &str,
+    sys: &InterpretedSystem<E>,
+    secs: f64,
+) {
+    println!(
+        "{label}: {} runs, {} points, {} distinct states \
+         ({:.1}% of the {} (agent, point) slots), {secs:.2}s, peak RSS {:.0} MiB",
+        sys.run_count(),
+        sys.point_count(),
+        sys.distinct_states(),
+        100.0 * sys.distinct_states() as f64 / (sys.params().n() * sys.point_count()) as f64,
+        sys.params().n() * sys.point_count(),
+        peak_rss_mb(),
+    );
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "streamed".into());
+    let params = Params::new(3, 1).unwrap();
+    let t0 = std::time::Instant::now();
+    match mode.as_str() {
+        // The tentpole path: enumeration streams into the interned
+        // columnar store; the run vector never exists.
+        "streamed" => {
+            let sys = InterpretedSystem::from_context(
+                Context::fip(params),
+                4,
+                10_000_000,
+                Parallelism::Auto,
+            )
+            .unwrap();
+            report("streamed  fip(3,1)", &sys, t0.elapsed().as_secs_f64());
+            assert!(sys.run_count() > 90_000);
+        }
+        // The legacy path: collect every trajectory, then classify.
+        "collected" => {
+            let ctx = Context::fip(params);
+            // Same enumeration parallelism as the streamed mode, so the
+            // comparison isolates the storage layout.
+            let runs = Scenario::of(&ctx)
+                .horizon(4)
+                .parallelism(Parallelism::Auto)
+                .enumerate()
+                .unwrap();
+            let sys = InterpretedSystem::from_runs(FipExchange::new(params), runs, 4).unwrap();
+            report("collected fip(3,1)", &sys, t0.elapsed().as_secs_f64());
+        }
+        // Newly reachable scale: the (4, 1) full-information system.
+        "fip41" => {
+            let params = Params::new(4, 1).unwrap();
+            let sys = InterpretedSystem::from_context(
+                Context::fip(params),
+                params.default_horizon(),
+                50_000_000,
+                Parallelism::Auto,
+            )
+            .unwrap();
+            report("streamed  fip(4,1)", &sys, t0.elapsed().as_secs_f64());
+            let check = std::time::Instant::now();
+            let report = check_implements(&sys, &POpt::new(params), KnowledgeBasedProgram::P0);
+            println!(
+                "  P_opt implements P0 at (4,1): {} ({} comparisons, {:.2}s)",
+                if report.is_ok() { "yes" } else { "NO" },
+                report.comparisons,
+                check.elapsed().as_secs_f64()
+            );
+        }
+        other => {
+            eprintln!("unknown mode {other:?}: use streamed | collected | fip41");
+            std::process::exit(2);
+        }
+    }
+}

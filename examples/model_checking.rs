@@ -62,9 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t0 = std::time::Instant::now();
         let sys = InterpretedSystem::from_context(ctx, 4, 10_000_000, Parallelism::Auto)?;
         println!(
-            "  {} runs / {} points in {:?}",
-            sys.runs().len(),
+            "  {} runs / {} points / {} distinct interned states in {:?}",
+            sys.run_count(),
             sys.point_count(),
+            sys.distinct_states(),
             t0.elapsed()
         );
         let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P1);

@@ -65,7 +65,6 @@ fn check_enum_run<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> Result<()
 fn exhaustive<E, P>(ctx: Context<E, P>, horizon: u32) -> usize
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
     let mut checked = 0usize;

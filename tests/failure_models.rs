@@ -29,8 +29,6 @@ impl StackVisitor for ModeledSoEqualsLegacy<'_> {
     fn visit<E, P>(self, ctx: &Context<E, P>)
     where
         E: InformationExchange + Clone + Sync + 'static,
-        E::State: Send + Sync,
-        E::Message: Send + Sync,
         P: ActionProtocol<E> + Clone + Sync + 'static,
     {
         let legacy_sequential =

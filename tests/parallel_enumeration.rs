@@ -30,7 +30,6 @@ fn eba_verdict<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> bool {
 fn assert_identical<E, P>(ex: E, proto: P, horizon: u32, label: &str)
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
     let sequential = enumerate_runs(&ex, &proto, horizon, 10_000_000).expect("sequential");

@@ -31,8 +31,6 @@ impl StackVisitor for BuilderEqualsLegacy<'_> {
     fn visit<E, P>(self, ctx: &Context<E, P>)
     where
         E: InformationExchange + Clone + Sync + 'static,
-        E::State: Send + Sync,
-        E::Message: Send + Sync,
         P: ActionProtocol<E> + Clone + Sync + 'static,
     {
         let via_builder = Scenario::of(ctx)
@@ -102,7 +100,6 @@ proptest! {
 fn assert_streaming_equals_collecting<E, P>(ctx: &Context<E, P>, horizon: u32, label: &str)
 where
     E: InformationExchange + Sync,
-    E::State: Send,
     P: ActionProtocol<E> + Sync,
 {
     let reference = enumerate_parallel(

@@ -75,7 +75,47 @@ fn bench_e7(c: &mut Criterion) {
         .unwrap();
         b.iter(|| {
             let report = check_implements(&sys, &proto, KnowledgeBasedProgram::P0);
-            black_box(report.comparisons)
+            black_box((report.comparisons, report.evaluated_nodes))
+        })
+    });
+    // The 33-formula standard battery, compiled into one plan/session
+    // versus 33 independent recursive evals — the query-engine headline,
+    // regression-tracked side by side in the `--smoke` sweep.
+    group.bench_function("battery_batched_min_n3_t1", |b| {
+        let params = Params::new(3, 1).unwrap();
+        let sys = InterpretedSystem::from_context(
+            Context::minimal(params),
+            params.default_horizon(),
+            10_000_000,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let battery = standard_battery(3);
+        b.iter(|| {
+            let mut arena = FormulaArena::new();
+            let roots: Vec<NodeId> = battery.iter().map(|f| arena.intern(f)).collect();
+            let plan = QueryPlan::new(&arena, &roots);
+            let session = EvalSession::evaluate(&sys, &arena, &plan);
+            black_box(roots.iter().filter(|r| session.verdict(**r).holds).count())
+        })
+    });
+    group.bench_function("battery_legacy_min_n3_t1", |b| {
+        let params = Params::new(3, 1).unwrap();
+        let sys = InterpretedSystem::from_context(
+            Context::minimal(params),
+            params.default_horizon(),
+            10_000_000,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let battery = standard_battery(3);
+        b.iter(|| {
+            black_box(
+                battery
+                    .iter()
+                    .filter(|f| sys.eval_recursive(f).count() == sys.point_count())
+                    .count(),
+            )
         })
     });
     group.finish();

@@ -8,7 +8,10 @@
 //! * threaded-transport round-trips versus the lockstep simulator;
 //! * interpreted-system construction, streamed (interned `RunStore`
 //!   arena) versus collected (legacy `from_runs`), so regressions in the
-//!   arena path are caught by the `--smoke` sweep.
+//!   arena path are caught by the `--smoke` sweep;
+//! * the compiled query engine: batched `QueryPlan`/`EvalSession`
+//!   evaluation of the 33-formula standard battery versus independent
+//!   recursive evals, plus the plan-compilation overhead alone.
 
 use std::hint::black_box;
 use std::time::Duration;
@@ -127,11 +130,61 @@ fn bench_system_build(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_query_plan(c: &mut Criterion) {
+    use eba_epistemic::prelude::*;
+    let mut group = c.benchmark_group("perf_query_plan");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let params = Params::new(3, 1).unwrap();
+    let sys = InterpretedSystem::from_context(
+        Context::basic(params),
+        params.default_horizon(),
+        10_000_000,
+        Parallelism::Sequential,
+    )
+    .unwrap();
+    let battery = standard_battery(3);
+    // Arena + plan compilation alone (no evaluation): the fixed cost a
+    // batch pays before touching the system.
+    group.bench_function("compile_battery_n3", |b| {
+        b.iter(|| {
+            let mut arena = FormulaArena::new();
+            let roots: Vec<NodeId> = battery.iter().map(|f| arena.intern(f)).collect();
+            let plan = QueryPlan::new(&arena, &roots);
+            black_box((plan.evaluated_node_count(), plan.naive_node_count()))
+        })
+    });
+    // One compiled session answering the whole battery…
+    group.bench_function("battery_batched_basic_n3_t1", |b| {
+        b.iter(|| {
+            let mut arena = FormulaArena::new();
+            let roots: Vec<NodeId> = battery.iter().map(|f| arena.intern(f)).collect();
+            let plan = QueryPlan::new(&arena, &roots);
+            let session = EvalSession::evaluate(&sys, &arena, &plan);
+            black_box(roots.iter().filter(|r| session.verdict(**r).holds).count())
+        })
+    });
+    // …versus 33 independent recursive evaluations.
+    group.bench_function("battery_legacy_basic_n3_t1", |b| {
+        b.iter(|| {
+            black_box(
+                battery
+                    .iter()
+                    .filter(|f| sys.eval_recursive(f).count() == sys.point_count())
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sim_throughput,
     bench_fip_analysis,
     bench_transport,
-    bench_system_build
+    bench_system_build,
+    bench_query_plan
 );
 criterion_main!(benches);

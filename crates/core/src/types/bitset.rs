@@ -127,6 +127,23 @@ impl BitSet {
         }
     }
 
+    /// The smallest index in `0..capacity` that is **not** set, or `None`
+    /// when every index is set (including the empty-capacity case).
+    ///
+    /// This is the counterexample probe of validity checks: a formula's
+    /// point set is valid iff it has no unset index.
+    pub fn first_unset(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                let i = wi * 64 + (!w).trailing_zeros() as usize;
+                // Bits at or beyond `len` are always zero, so an unset
+                // index past the capacity means the set is full.
+                return (i < self.len).then_some(i);
+            }
+        }
+        None
+    }
+
     /// Iterates over set indices in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -214,6 +231,19 @@ mod tests {
         assert!(!s.contains(67));
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn first_unset_probes_validity() {
+        let mut s = BitSet::new(70);
+        s.fill();
+        assert_eq!(s.first_unset(), None, "full set has no counterexample");
+        s.remove(65);
+        assert_eq!(s.first_unset(), Some(65));
+        s.remove(3);
+        assert_eq!(s.first_unset(), Some(3), "smallest unset index wins");
+        assert_eq!(BitSet::new(0).first_unset(), None);
+        assert_eq!(BitSet::new(64).first_unset(), Some(0));
     }
 
     #[test]

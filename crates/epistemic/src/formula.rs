@@ -12,6 +12,7 @@
 use eba_core::exchange::InformationExchange;
 use eba_core::types::{AgentId, BitSet, Value};
 
+use crate::query::{EvalSession, FormulaArena, QueryPlan};
 use crate::system::{InterpretedSystem, PointId};
 
 /// A formula of the epistemic-temporal logic.
@@ -63,26 +64,35 @@ pub enum Formula {
 impl Formula {
     /// `¬φ`.
     #[allow(clippy::should_implement_trait)] // DSL constructor, deliberately named like the paper's ¬
+    #[must_use]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
 
     /// `φ ⇒ ψ`.
+    #[must_use]
     pub fn implies(f: Formula, g: Formula) -> Formula {
         Formula::Or(vec![Formula::not(f), g])
     }
 
     /// `K_i φ`.
+    #[must_use]
     pub fn knows(agent: AgentId, f: Formula) -> Formula {
         Formula::Knows(agent, Box::new(f))
     }
 
     /// `C_N φ`.
+    #[must_use]
     pub fn common_nonfaulty(f: Formula) -> Formula {
         Formula::CommonNonfaulty(Box::new(f))
     }
 
     /// `⋁_{j ∈ Agt} jdecided_j = v`.
+    ///
+    /// Allocates a fresh `O(n)` disjunction tree per call; inside the
+    /// query engine use [`FormulaArena::someone_just_decided`], which
+    /// interns the disjunction once per arena.
+    #[must_use]
     pub fn someone_just_decided(n: usize, v: Value) -> Formula {
         Formula::Or(
             AgentId::all(n)
@@ -92,6 +102,10 @@ impl Formula {
     }
 
     /// `⋀_{j ∈ Agt} ¬(deciding_j = v)`.
+    ///
+    /// Allocates per call; the interned counterpart is
+    /// [`FormulaArena::nobody_deciding`].
+    #[must_use]
     pub fn nobody_deciding(n: usize, v: Value) -> Formula {
         Formula::And(
             AgentId::all(n)
@@ -101,6 +115,10 @@ impl Formula {
     }
 
     /// `no-decided_N(v) ≡ ⋀_j (j ∈ N ⇒ ¬(decided_j = v))`.
+    ///
+    /// Allocates per call; the interned counterpart is
+    /// [`FormulaArena::no_nonfaulty_decided`].
+    #[must_use]
     pub fn no_nonfaulty_decided(n: usize, v: Value) -> Formula {
         Formula::And(
             AgentId::all(n)
@@ -116,15 +134,40 @@ impl Formula {
 }
 
 impl<E: InformationExchange> InterpretedSystem<E> {
-    /// Evaluates a formula over all points of the system.
+    /// Evaluates a formula over all points of the system, through the
+    /// compiled query engine: the formula is interned into a one-root
+    /// [`FormulaArena`], planned, and executed by an [`EvalSession`] —
+    /// so even a single `eval` call deduplicates its own repeated
+    /// subformulas. For families of related formulas, batch them with
+    /// [`InterpretedSystem::query_batch`] (or an explicit
+    /// [`QueryPlan`]) instead of calling `eval` per formula.
     ///
-    /// Propositions resolve through the interned
-    /// [`RunStore`](eba_sim::store::RunStore): run-level facts (inits,
-    /// nonfaulty membership) fill whole runs at a time, and state-level
-    /// facts (`decided`) are memoized once per **distinct** state via
-    /// [`InterpretedSystem::per_state_table`], then looked up by
-    /// `StateId` per point.
+    /// The result is bit-for-bit identical to the pre-engine recursion,
+    /// which survives as [`InterpretedSystem::eval_recursive`] and is
+    /// compared against this wrapper across stacks × failure models ×
+    /// horizons in `tests/query_engine_equivalence.rs`.
     pub fn eval(&self, f: &Formula) -> BitSet {
+        let mut arena = FormulaArena::new();
+        let root = arena.intern(f);
+        let plan = QueryPlan::new(&arena, &[root]);
+        EvalSession::evaluate(self, &arena, &plan).into_bitset(root)
+    }
+
+    /// The legacy recursive evaluator: a direct structural recursion
+    /// over the formula tree, re-evaluating every occurrence of every
+    /// subformula.
+    ///
+    /// Kept as the **independent oracle** the compiled engine is
+    /// verified against (it shares no scheduling or interning machinery
+    /// with [`EvalSession`]); [`InterpretedSystem::satisfied_at`] also
+    /// routes through it so counterexample re-checks do not trust the
+    /// engine that produced the witness. Propositions resolve through
+    /// the interned [`RunStore`](eba_sim::store::RunStore): run-level
+    /// facts (inits, nonfaulty membership) fill whole runs at a time,
+    /// and state-level facts (`decided`) are memoized once per
+    /// **distinct** state via [`InterpretedSystem::per_state_table`],
+    /// then looked up by `StateId` per point.
+    pub fn eval_recursive(&self, f: &Formula) -> BitSet {
         let count = self.point_count();
         match f {
             Formula::True => {
@@ -159,7 +202,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
                 })
             }
             Formula::Not(g) => {
-                let mut s = self.eval(g);
+                let mut s = self.eval_recursive(g);
                 s.invert();
                 s
             }
@@ -167,32 +210,32 @@ impl<E: InformationExchange> InterpretedSystem<E> {
                 let mut s = BitSet::new(count);
                 s.fill();
                 for g in gs {
-                    s.intersect_with(&self.eval(g));
+                    s.intersect_with(&self.eval_recursive(g));
                 }
                 s
             }
             Formula::Or(gs) => {
                 let mut s = BitSet::new(count);
                 for g in gs {
-                    s.union_with(&self.eval(g));
+                    s.union_with(&self.eval_recursive(g));
                 }
                 s
             }
-            Formula::Knows(i, g) => self.knows_set(*i, &self.eval(g)),
-            Formula::EveryoneNonfaulty(g) => self.everyone_nonfaulty_set(&self.eval(g)),
-            Formula::CommonNonfaulty(g) => self.common_nonfaulty_set(&self.eval(g)),
+            Formula::Knows(i, g) => self.knows_set(*i, &self.eval_recursive(g)),
+            Formula::EveryoneNonfaulty(g) => self.everyone_nonfaulty_set(&self.eval_recursive(g)),
+            Formula::CommonNonfaulty(g) => self.common_nonfaulty_set(&self.eval_recursive(g)),
             Formula::Next(g) => {
-                let inner = self.eval(g);
+                let inner = self.eval_recursive(g);
                 self.points_by(|pid| {
                     self.time_of(pid) < self.horizon() && inner.contains(pid as usize + 1)
                 })
             }
             Formula::Prev(g) => {
-                let inner = self.eval(g);
+                let inner = self.eval_recursive(g);
                 self.points_by(|pid| self.time_of(pid) > 0 && inner.contains(pid as usize - 1))
             }
             Formula::Henceforth(g) => {
-                let inner = self.eval(g);
+                let inner = self.eval_recursive(g);
                 self.points_by(|pid| {
                     let run = self.run_of(pid);
                     (self.time_of(pid)..=self.horizon())
@@ -200,7 +243,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
                 })
             }
             Formula::Eventually(g) => {
-                let inner = self.eval(g);
+                let inner = self.eval_recursive(g);
                 self.points_by(|pid| {
                     let run = self.run_of(pid);
                     (self.time_of(pid)..=self.horizon())
@@ -210,19 +253,24 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         }
     }
 
-    /// Whether the formula holds at the point `(run, time)`.
+    /// Whether the formula holds at the point `(run, time)`, evaluated
+    /// by the **legacy recursion** — deliberately not the engine, so a
+    /// [`Verdict`](crate::query::Verdict) counterexample can be
+    /// re-checked through an independent code path.
     pub fn satisfied_at(&self, f: &Formula, run: usize, time: u32) -> bool {
-        self.eval(f).contains(self.point(run, time) as usize)
+        self.eval_recursive(f)
+            .contains(self.point(run, time) as usize)
     }
 
-    /// Whether the formula is valid (holds at every point) in the system.
+    /// Whether the formula is valid (holds at every point) in the
+    /// system — the boolean half of [`InterpretedSystem::query`].
     pub fn valid(&self, f: &Formula) -> bool {
-        self.eval(f).count() == self.point_count()
+        self.query(f).holds
     }
 
     /// Fills every point of every run satisfying the run-level predicate
     /// (points of a run are contiguous, so whole runs fill at once).
-    fn points_where_run(&self, pred: impl Fn(usize) -> bool) -> BitSet {
+    pub(crate) fn points_where_run(&self, pred: impl Fn(usize) -> bool) -> BitSet {
         let mut s = BitSet::new(self.point_count());
         let per_run = self.horizon() as usize + 1;
         for r in 0..self.run_count() {
@@ -235,7 +283,7 @@ impl<E: InformationExchange> InterpretedSystem<E> {
         s
     }
 
-    fn points_by(&self, pred: impl Fn(PointId) -> bool) -> BitSet {
+    pub(crate) fn points_by(&self, pred: impl Fn(PointId) -> bool) -> BitSet {
         let mut s = BitSet::new(self.point_count());
         for pid in 0..self.point_count() {
             if pred(pid as PointId) {

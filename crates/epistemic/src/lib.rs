@@ -9,6 +9,12 @@
 //! * [`formula`] — a logic of knowledge and (bounded) time: the
 //!   propositions of EBA contexts, `K_i`, `E_N`, `C_N` over the indexical
 //!   nonfaulty set, and temporal operators;
+//! * [`query`] — the compiled query engine: a hash-consed
+//!   [`FormulaArena`](query::FormulaArena) interning shared subformulas
+//!   once, a [`QueryPlan`](query::QueryPlan) scheduling a *batch* of
+//!   root formulas over the shared DAG, and an
+//!   [`EvalSession`](query::EvalSession) answering every root with a
+//!   counterexample-carrying [`Verdict`](query::Verdict) in one pass;
 //! * [`kbp`] — semantics of the knowledge-based programs `P0` and `P1`:
 //!   the action each prescribes at every point of a system;
 //! * [`implements`] — the implements-check: does a concrete action
@@ -44,6 +50,7 @@
 pub mod formula;
 pub mod implements;
 pub mod kbp;
+pub mod query;
 pub mod system;
 
 /// Convenient re-exports of the most commonly used items.
@@ -51,5 +58,8 @@ pub mod prelude {
     pub use crate::formula::Formula;
     pub use crate::implements::{check_implements, ImplementsReport, Mismatch};
     pub use crate::kbp::{ck_t_faulty_and, prescriptions};
+    pub use crate::query::{
+        standard_battery, EvalSession, FormulaArena, NodeId, QueryPlan, Verdict,
+    };
     pub use crate::system::{InterpretedSystem, PointId};
 }

@@ -1,0 +1,934 @@
+//! The compiled epistemic query engine: hash-consed formulas, batched
+//! evaluation sessions, and counterexample-carrying verdicts.
+//!
+//! The paper's results are answered by evaluating *families* of closely
+//! related formulas over one interpreted system — the `C_N(t-faulty ∧ …)`
+//! towers of `P1`, the per-value `someone_just_decided` /
+//! `nobody_deciding` disjunctions of `P0`, the EBA spec validities. A
+//! recursive per-formula [`eval`](InterpretedSystem::eval) recomputes every shared
+//! subformula per root; this module compiles a *batch* instead:
+//!
+//! 1. [`FormulaArena`] **hash-conses** formulas into dense [`NodeId`]s:
+//!    structurally equal subformulas are interned exactly once, so the
+//!    shared towers exist once no matter how many roots mention them.
+//! 2. [`QueryPlan`] schedules the nodes reachable from a set of roots in
+//!    topological order (interning guarantees children precede parents),
+//!    and records how many node evaluations the batch saves over
+//!    evaluating each root independently.
+//! 3. [`EvalSession`] executes the plan over an [`InterpretedSystem`] in
+//!    one pass — one [`BitSet`] per distinct node, state-level
+//!    propositions resolved through the interned
+//!    [`RunStore`](eba_sim::store::RunStore)'s per-`StateId` tables,
+//!    run-level propositions filled a whole run at a time — and answers
+//!    every root with a [`Verdict`] carrying a `(run, time)`
+//!    counterexample when the formula is not valid.
+//!
+//! [`eval`](InterpretedSystem::eval), [`InterpretedSystem::valid`] and friends are thin
+//! wrappers that build a one-formula plan; the pre-engine recursion
+//! survives as [`InterpretedSystem::eval_recursive`], the independent
+//! oracle the engine is verified against bit-for-bit
+//! (`tests/query_engine_equivalence.rs`).
+//!
+//! # Example: the EBA spec as one batch, with witnesses
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_epistemic::prelude::*;
+//! use eba_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! let params = Params::new(3, 1)?;
+//! let sys = InterpretedSystem::from_context(
+//!     Context::minimal(params), 4, 1_000_000, Parallelism::Auto)?;
+//!
+//! let mut arena = FormulaArena::new();
+//! let roots: Vec<NodeId> = AgentId::all(3)
+//!     .map(|i| {
+//!         // Strong Validity for agent i: decided_i = 0 ⇒ ∃0.
+//!         let decided = arena.decided_is(i, Some(Value::Zero));
+//!         let exists = arena.exists_init(Value::Zero);
+//!         arena.implies(decided, exists)
+//!     })
+//!     .collect();
+//! let plan = QueryPlan::new(&arena, &roots);
+//! let session = EvalSession::evaluate(&sys, &arena, &plan);
+//! for root in &roots {
+//!     let verdict = session.verdict(*root);
+//!     assert!(verdict.holds, "violated at {:?}", verdict.counterexample);
+//! }
+//! // All three roots share the interned `∃0` leaf — the batch
+//! // evaluates it once instead of once per root:
+//! assert!(plan.evaluated_node_count() < plan.naive_node_count());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use eba_core::exchange::InformationExchange;
+use eba_core::types::{subsets_of_size, AgentId, BitSet, Params, Value};
+
+use crate::formula::Formula;
+use crate::system::{InterpretedSystem, PointId};
+
+/// Dense handle of an interned formula node in a [`FormulaArena`].
+///
+/// Ids are assigned in interning order, and every constructor interns
+/// subformulas before the enclosing node, so **ids are a topological
+/// order**: a node's children always have strictly smaller ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The dense index of the node (`0..arena.node_count()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned formula node: the same operators as [`Formula`], with
+/// subformulas replaced by [`NodeId`]s into the owning arena.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    /// Truth.
+    True,
+    /// `init_i = v`.
+    InitIs(AgentId, Value),
+    /// `decided_i = v` (`None` is `⊥`).
+    DecidedIs(AgentId, Option<Value>),
+    /// `time = k`.
+    TimeIs(u32),
+    /// `i ∈ N`.
+    Nonfaulty(AgentId),
+    /// `∃v ≡ ⋁_j init_j = v`.
+    ExistsInit(Value),
+    /// `jdecided_i = v`.
+    JustDecided(AgentId, Value),
+    /// `deciding_i = v`.
+    Deciding(AgentId, Value),
+    /// Negation.
+    Not(NodeId),
+    /// Conjunction (empty = true).
+    And(Vec<NodeId>),
+    /// Disjunction (empty = false).
+    Or(Vec<NodeId>),
+    /// `K_i φ`.
+    Knows(AgentId, NodeId),
+    /// `E_N φ`.
+    EveryoneNonfaulty(NodeId),
+    /// `C_N φ`.
+    CommonNonfaulty(NodeId),
+    /// `◯φ` (false at the horizon).
+    Next(NodeId),
+    /// `⊖φ` (false at time 0).
+    Prev(NodeId),
+    /// `□φ` within the horizon.
+    Henceforth(NodeId),
+    /// `♦φ` within the horizon.
+    Eventually(NodeId),
+}
+
+impl Node {
+    /// The ids of this node's direct subformulas.
+    fn children(&self) -> &[NodeId] {
+        match self {
+            Node::True
+            | Node::InitIs(..)
+            | Node::DecidedIs(..)
+            | Node::TimeIs(..)
+            | Node::Nonfaulty(..)
+            | Node::ExistsInit(..)
+            | Node::JustDecided(..)
+            | Node::Deciding(..) => &[],
+            Node::Not(g)
+            | Node::Knows(_, g)
+            | Node::EveryoneNonfaulty(g)
+            | Node::CommonNonfaulty(g)
+            | Node::Next(g)
+            | Node::Prev(g)
+            | Node::Henceforth(g)
+            | Node::Eventually(g) => std::slice::from_ref(g),
+            Node::And(gs) | Node::Or(gs) => gs,
+        }
+    }
+}
+
+/// A hash-consing arena of formula nodes: structurally equal subformulas
+/// are interned exactly once and shared by id.
+///
+/// Build queries either by [`intern`](FormulaArena::intern)ing an
+/// existing [`Formula`] tree or directly through the combinator
+/// constructors ([`and`](FormulaArena::and),
+/// [`knows`](FormulaArena::knows),
+/// [`someone_just_decided`](FormulaArena::someone_just_decided), …),
+/// which never materialize an intermediate `Formula` allocation.
+#[derive(Clone, Debug)]
+pub struct FormulaArena {
+    nodes: Vec<Node>,
+    index: HashMap<Node, NodeId>,
+    /// Identity stamp, unique per `new()` (clones share it — a clone's
+    /// id space is a compatible extension of the original's). A
+    /// [`QueryPlan`] records the stamp so an [`EvalSession`] can reject
+    /// a plan paired with an unrelated arena instead of resolving its
+    /// node ids against the wrong node table.
+    stamp: u64,
+}
+
+impl Default for FormulaArena {
+    fn default() -> Self {
+        FormulaArena::new()
+    }
+}
+
+impl FormulaArena {
+    /// An empty arena with a fresh identity stamp.
+    #[must_use]
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_STAMP: AtomicU64 = AtomicU64::new(0);
+        FormulaArena {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct interned nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Interns a node, returning the existing id when a structurally
+    /// equal node is already present.
+    fn add(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.index.get(&node) {
+            return *id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena holds < 2^32 nodes"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
+    /// Interns a [`Formula`] tree bottom-up, deduplicating every shared
+    /// subformula against everything already in the arena.
+    pub fn intern(&mut self, f: &Formula) -> NodeId {
+        let node = match f {
+            Formula::True => Node::True,
+            Formula::InitIs(i, v) => Node::InitIs(*i, *v),
+            Formula::DecidedIs(i, v) => Node::DecidedIs(*i, *v),
+            Formula::TimeIs(k) => Node::TimeIs(*k),
+            Formula::Nonfaulty(i) => Node::Nonfaulty(*i),
+            Formula::ExistsInit(v) => Node::ExistsInit(*v),
+            Formula::JustDecided(i, v) => Node::JustDecided(*i, *v),
+            Formula::Deciding(i, v) => Node::Deciding(*i, *v),
+            Formula::Not(g) => Node::Not(self.intern(g)),
+            Formula::And(gs) => Node::And(gs.iter().map(|g| self.intern(g)).collect()),
+            Formula::Or(gs) => Node::Or(gs.iter().map(|g| self.intern(g)).collect()),
+            Formula::Knows(i, g) => Node::Knows(*i, self.intern(g)),
+            Formula::EveryoneNonfaulty(g) => Node::EveryoneNonfaulty(self.intern(g)),
+            Formula::CommonNonfaulty(g) => Node::CommonNonfaulty(self.intern(g)),
+            Formula::Next(g) => Node::Next(self.intern(g)),
+            Formula::Prev(g) => Node::Prev(self.intern(g)),
+            Formula::Henceforth(g) => Node::Henceforth(self.intern(g)),
+            Formula::Eventually(g) => Node::Eventually(self.intern(g)),
+        };
+        self.add(node)
+    }
+
+    /// Truth.
+    pub fn tt(&mut self) -> NodeId {
+        self.add(Node::True)
+    }
+
+    /// `init_i = v`.
+    pub fn init_is(&mut self, agent: AgentId, v: Value) -> NodeId {
+        self.add(Node::InitIs(agent, v))
+    }
+
+    /// `decided_i = v` (`None` is `⊥`).
+    pub fn decided_is(&mut self, agent: AgentId, v: Option<Value>) -> NodeId {
+        self.add(Node::DecidedIs(agent, v))
+    }
+
+    /// `time = k`.
+    pub fn time_is(&mut self, k: u32) -> NodeId {
+        self.add(Node::TimeIs(k))
+    }
+
+    /// `i ∈ N`.
+    pub fn nonfaulty(&mut self, agent: AgentId) -> NodeId {
+        self.add(Node::Nonfaulty(agent))
+    }
+
+    /// `∃v`.
+    pub fn exists_init(&mut self, v: Value) -> NodeId {
+        self.add(Node::ExistsInit(v))
+    }
+
+    /// `jdecided_i = v`.
+    pub fn just_decided(&mut self, agent: AgentId, v: Value) -> NodeId {
+        self.add(Node::JustDecided(agent, v))
+    }
+
+    /// `deciding_i = v`.
+    pub fn deciding(&mut self, agent: AgentId, v: Value) -> NodeId {
+        self.add(Node::Deciding(agent, v))
+    }
+
+    /// `¬φ`.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::Not(f))
+    }
+
+    /// `⋀ fs` (empty = true).
+    pub fn and(&mut self, fs: Vec<NodeId>) -> NodeId {
+        self.add(Node::And(fs))
+    }
+
+    /// `⋁ fs` (empty = false).
+    pub fn or(&mut self, fs: Vec<NodeId>) -> NodeId {
+        self.add(Node::Or(fs))
+    }
+
+    /// `φ ⇒ ψ`, interned with the same `Or(¬φ, ψ)` shape as
+    /// [`Formula::implies`].
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let nf = self.not(f);
+        self.or(vec![nf, g])
+    }
+
+    /// `K_i φ`.
+    pub fn knows(&mut self, agent: AgentId, f: NodeId) -> NodeId {
+        self.add(Node::Knows(agent, f))
+    }
+
+    /// `E_N φ`.
+    pub fn everyone_nonfaulty(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::EveryoneNonfaulty(f))
+    }
+
+    /// `C_N φ`.
+    pub fn common_nonfaulty(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::CommonNonfaulty(f))
+    }
+
+    /// `◯φ`.
+    pub fn next(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::Next(f))
+    }
+
+    /// `⊖φ`.
+    pub fn prev(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::Prev(f))
+    }
+
+    /// `□φ`.
+    pub fn henceforth(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::Henceforth(f))
+    }
+
+    /// `♦φ`.
+    pub fn eventually(&mut self, f: NodeId) -> NodeId {
+        self.add(Node::Eventually(f))
+    }
+
+    /// `⋁_{j ∈ Agt} jdecided_j = v` — the interned counterpart of
+    /// [`Formula::someone_just_decided`]: the `O(n)` disjunction exists
+    /// once per arena instead of once per call site.
+    pub fn someone_just_decided(&mut self, n: usize, v: Value) -> NodeId {
+        let js: Vec<NodeId> = AgentId::all(n).map(|j| self.just_decided(j, v)).collect();
+        self.or(js)
+    }
+
+    /// `⋀_{j ∈ Agt} ¬(deciding_j = v)` — interned
+    /// [`Formula::nobody_deciding`].
+    pub fn nobody_deciding(&mut self, n: usize, v: Value) -> NodeId {
+        let js: Vec<NodeId> = AgentId::all(n)
+            .map(|j| {
+                let d = self.deciding(j, v);
+                self.not(d)
+            })
+            .collect();
+        self.and(js)
+    }
+
+    /// `⋀_j (j ∈ N ⇒ ¬(decided_j = v))` — interned
+    /// [`Formula::no_nonfaulty_decided`].
+    pub fn no_nonfaulty_decided(&mut self, n: usize, v: Value) -> NodeId {
+        let js: Vec<NodeId> = AgentId::all(n)
+            .map(|j| {
+                let nf = self.nonfaulty(j);
+                let d = self.decided_is(j, Some(v));
+                let nd = self.not(d);
+                self.implies(nf, nd)
+            })
+            .collect();
+        self.and(js)
+    }
+
+    /// The paper's `C_N(t-faulty ∧ φ)` abbreviation, interned — the
+    /// engine counterpart of [`crate::kbp::ck_t_faulty_and`]. The
+    /// `¬(i ∈ N)` leaves are shared across all `C(n, t)` faulty-set
+    /// candidates (and with any other query in the arena).
+    pub fn ck_t_faulty_and(&mut self, params: Params, phi: NodeId) -> NodeId {
+        let disjuncts: Vec<NodeId> = subsets_of_size(params.n(), params.t())
+            .into_iter()
+            .map(|a| {
+                let mut conj: Vec<NodeId> = a
+                    .iter()
+                    .map(|i| {
+                        let nf = self.nonfaulty(i);
+                        self.not(nf)
+                    })
+                    .collect();
+                conj.push(phi);
+                let body = self.and(conj);
+                self.common_nonfaulty(body)
+            })
+            .collect();
+        self.or(disjuncts)
+    }
+
+    /// Number of **distinct** nodes reachable from `root` — the node
+    /// count of `root` evaluated as a one-root plan. Note this is a
+    /// lower bound on what the legacy tree recursion
+    /// ([`InterpretedSystem::eval_recursive`]) traverses: the recursion
+    /// re-evaluates each *occurrence* of a repeated subformula, while
+    /// this counts it once.
+    #[must_use]
+    pub fn reachable_count(&self, root: NodeId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            count += 1;
+            stack.extend_from_slice(self.node(id).children());
+        }
+        count
+    }
+}
+
+/// A topologically scheduled batch of root formulas over a shared
+/// [`FormulaArena`] DAG.
+///
+/// The schedule contains each node reachable from any root **once**, in
+/// ascending id order (a valid evaluation order by construction);
+/// [`naive_node_count`](QueryPlan::naive_node_count) records what the
+/// same roots would cost as independent per-formula evaluations.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    roots: Vec<NodeId>,
+    schedule: Vec<NodeId>,
+    /// `slot_of[node.index()]` = position in `schedule`, or `u32::MAX`
+    /// when the node is not reachable from any root.
+    slot_of: Vec<u32>,
+    naive_nodes: usize,
+    /// Stamp of the arena the plan was built from (see
+    /// [`FormulaArena::new`]).
+    arena_stamp: u64,
+}
+
+impl QueryPlan {
+    /// Plans the batch evaluation of `roots` over `arena`.
+    #[must_use]
+    pub fn new(arena: &FormulaArena, roots: &[NodeId]) -> QueryPlan {
+        let mut reachable = vec![false; arena.node_count()];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(arena.node(id).children());
+        }
+        let mut schedule = Vec::new();
+        let mut slot_of = vec![u32::MAX; arena.node_count()];
+        for (idx, is_in) in reachable.iter().enumerate() {
+            if *is_in {
+                slot_of[idx] = schedule.len() as u32;
+                schedule.push(NodeId(idx as u32));
+            }
+        }
+        let naive_nodes = roots.iter().map(|r| arena.reachable_count(*r)).sum();
+        QueryPlan {
+            roots: roots.to_vec(),
+            schedule,
+            slot_of,
+            naive_nodes,
+            arena_stamp: arena.stamp,
+        }
+    }
+
+    /// The root formulas of the batch, in the order given to
+    /// [`QueryPlan::new`].
+    #[must_use]
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Distinct nodes the session will evaluate — the size of the shared
+    /// DAG under the roots.
+    #[must_use]
+    pub fn evaluated_node_count(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// What the same roots cost as independent one-root plans: the sum
+    /// over roots of each root's **distinct** reachable-node count
+    /// ([`FormulaArena::reachable_count`]).
+    /// `naive_node_count() - evaluated_node_count()` is what batching
+    /// saves *across* roots; it understates the saving against the
+    /// legacy tree recursion, which additionally re-evaluates repeated
+    /// subformula occurrences *within* a single formula.
+    #[must_use]
+    pub fn naive_node_count(&self) -> usize {
+        self.naive_nodes
+    }
+}
+
+/// The answer to one root query: whether the formula is **valid** (holds
+/// at every point of the system), and a witnessing point when it is not.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// Whether the formula holds at every point.
+    pub holds: bool,
+    /// When `!holds`: the first `(run, time)` point falsifying the
+    /// formula — re-checkable with
+    /// [`InterpretedSystem::satisfied_at`].
+    pub counterexample: Option<(usize, u32)>,
+}
+
+/// One executed batch: every scheduled node's point set, computed in a
+/// single topological pass over an [`InterpretedSystem`].
+///
+/// Run-level propositions (`InitIs`, `Nonfaulty`, `ExistsInit`) fill
+/// whole runs at a time; `decided`-reading propositions resolve through
+/// the system's per-distinct-state tables (one lookup per point by
+/// [`StateId`](eba_sim::store::StateId)); knowledge operators reuse the
+/// system's indistinguishability classes. Each distinct node is
+/// evaluated exactly once no matter how many roots (or enclosing
+/// formulas) share it.
+pub struct EvalSession<'s, E: InformationExchange> {
+    sys: &'s InterpretedSystem<E>,
+    slot_of: Vec<u32>,
+    bits: Vec<BitSet>,
+}
+
+impl<'s, E: InformationExchange> EvalSession<'s, E> {
+    /// Evaluates every node of `plan` over `sys`, children before
+    /// parents, in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was built from a different arena than `arena`
+    /// (identity is checked via the arena's stamp — clones share their
+    /// original's stamp and id space, so evaluating against a clone, or
+    /// against the same arena after further interning, is fine), or if
+    /// the supplied arena is smaller than the plan's id space.
+    pub fn evaluate(
+        sys: &'s InterpretedSystem<E>,
+        arena: &FormulaArena,
+        plan: &QueryPlan,
+    ) -> EvalSession<'s, E> {
+        assert!(
+            plan.arena_stamp == arena.stamp,
+            "plan was built from a different arena (stamp {} vs {}): its node ids \
+             would resolve against an unrelated node table",
+            plan.arena_stamp,
+            arena.stamp
+        );
+        assert!(
+            plan.slot_of.len() <= arena.node_count(),
+            "plan was built for a larger arena ({} nodes) than the one supplied ({})",
+            plan.slot_of.len(),
+            arena.node_count()
+        );
+        let count = sys.point_count();
+        let mut bits: Vec<BitSet> = Vec::with_capacity(plan.schedule.len());
+        let child = |bits: &[BitSet], slot_of: &[u32], id: NodeId| -> BitSet {
+            bits[slot_of[id.index()] as usize].clone()
+        };
+        for id in &plan.schedule {
+            let get = |cid: &NodeId| &bits[plan.slot_of[cid.index()] as usize];
+            let set = match arena.node(*id) {
+                Node::True => {
+                    let mut s = BitSet::new(count);
+                    s.fill();
+                    s
+                }
+                Node::InitIs(i, v) => sys.points_where_run(|r| sys.inits(r)[i.index()] == *v),
+                Node::DecidedIs(i, v) => {
+                    let decided = sys.decided_table();
+                    sys.points_by(|pid| decided[sys.state_id(pid, *i).index()] == *v)
+                }
+                Node::TimeIs(k) => sys.points_by(|pid| sys.time_of(pid) == *k),
+                Node::Nonfaulty(i) => sys.points_where_run(|r| sys.nonfaulty(r).contains(*i)),
+                Node::ExistsInit(v) => sys.points_where_run(|r| sys.inits(r).contains(v)),
+                Node::JustDecided(i, v) => {
+                    let decided = sys.decided_table();
+                    sys.points_by(|pid| {
+                        let m = sys.time_of(pid);
+                        m > 0
+                            && decided[sys.state_id(pid, *i).index()] == Some(*v)
+                            && decided[sys.state_id(pid - 1, *i).index()].is_none()
+                    })
+                }
+                Node::Deciding(i, v) => {
+                    let decided = sys.decided_table();
+                    sys.points_by(|pid| {
+                        let m = sys.time_of(pid);
+                        m < sys.horizon()
+                            && decided[sys.state_id(pid, *i).index()].is_none()
+                            && decided[sys.state_id(pid + 1, *i).index()] == Some(*v)
+                    })
+                }
+                Node::Not(g) => {
+                    let mut s = child(&bits, &plan.slot_of, *g);
+                    s.invert();
+                    s
+                }
+                Node::And(gs) => {
+                    let mut s = BitSet::new(count);
+                    s.fill();
+                    for g in gs {
+                        s.intersect_with(get(g));
+                    }
+                    s
+                }
+                Node::Or(gs) => {
+                    let mut s = BitSet::new(count);
+                    for g in gs {
+                        s.union_with(get(g));
+                    }
+                    s
+                }
+                Node::Knows(i, g) => sys.knows_set(*i, get(g)),
+                Node::EveryoneNonfaulty(g) => sys.everyone_nonfaulty_set(get(g)),
+                Node::CommonNonfaulty(g) => sys.common_nonfaulty_set(get(g)),
+                Node::Next(g) => {
+                    let inner = get(g);
+                    sys.points_by(|pid| {
+                        sys.time_of(pid) < sys.horizon() && inner.contains(pid as usize + 1)
+                    })
+                }
+                Node::Prev(g) => {
+                    let inner = get(g);
+                    sys.points_by(|pid| sys.time_of(pid) > 0 && inner.contains(pid as usize - 1))
+                }
+                Node::Henceforth(g) => {
+                    let inner = get(g);
+                    sys.points_by(|pid| {
+                        let run = sys.run_of(pid);
+                        (sys.time_of(pid)..=sys.horizon())
+                            .all(|m| inner.contains(sys.point(run, m) as usize))
+                    })
+                }
+                Node::Eventually(g) => {
+                    let inner = get(g);
+                    sys.points_by(|pid| {
+                        let run = sys.run_of(pid);
+                        (sys.time_of(pid)..=sys.horizon())
+                            .any(|m| inner.contains(sys.point(run, m) as usize))
+                    })
+                }
+            };
+            bits.push(set);
+        }
+        EvalSession {
+            sys,
+            slot_of: plan.slot_of.clone(),
+            bits,
+        }
+    }
+
+    /// Number of distinct nodes this session evaluated.
+    #[must_use]
+    pub fn nodes_evaluated(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The set of points satisfying an evaluated node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not part of the session's plan.
+    #[must_use]
+    pub fn bitset(&self, id: NodeId) -> &BitSet {
+        let slot = self.slot_of[id.index()];
+        assert!(slot != u32::MAX, "node {id:?} is not in the plan");
+        &self.bits[slot as usize]
+    }
+
+    /// Consumes the session, returning the owned point set of one node.
+    #[must_use]
+    pub fn into_bitset(mut self, id: NodeId) -> BitSet {
+        let slot = self.slot_of[id.index()];
+        assert!(slot != u32::MAX, "node {id:?} is not in the plan");
+        std::mem::replace(&mut self.bits[slot as usize], BitSet::new(0))
+    }
+
+    /// Whether the node holds at `(run, time)`.
+    #[must_use]
+    pub fn holds_at(&self, id: NodeId, run: usize, time: u32) -> bool {
+        self.bitset(id).contains(self.sys.point(run, time) as usize)
+    }
+
+    /// The validity verdict for a node, with the first falsifying
+    /// `(run, time)` point as counterexample when it is not valid.
+    #[must_use]
+    pub fn verdict(&self, id: NodeId) -> Verdict {
+        match self.bitset(id).first_unset() {
+            None => Verdict {
+                holds: true,
+                counterexample: None,
+            },
+            Some(p) => {
+                let pid = p as PointId;
+                Verdict {
+                    holds: false,
+                    counterexample: Some((self.sys.run_of(pid), self.sys.time_of(pid))),
+                }
+            }
+        }
+    }
+}
+
+impl<E: InformationExchange> InterpretedSystem<E> {
+    /// Answers one formula with a counterexample-carrying [`Verdict`]
+    /// through a one-formula [`QueryPlan`]. For families of related
+    /// formulas, prefer [`InterpretedSystem::query_batch`] (shared
+    /// subformulas are then evaluated once).
+    pub fn query(&self, f: &Formula) -> Verdict {
+        self.query_batch(std::slice::from_ref(f))
+            .pop()
+            .expect("one root, one verdict")
+    }
+
+    /// Answers a batch of formulas in one compiled pass: all roots are
+    /// interned into one [`FormulaArena`], scheduled by one
+    /// [`QueryPlan`], and evaluated by one [`EvalSession`], so every
+    /// structurally shared subformula is computed exactly once. Verdicts
+    /// are returned in input order.
+    pub fn query_batch(&self, formulas: &[Formula]) -> Vec<Verdict> {
+        let mut arena = FormulaArena::new();
+        let roots: Vec<NodeId> = formulas.iter().map(|f| arena.intern(f)).collect();
+        let plan = QueryPlan::new(&arena, &roots);
+        let session = EvalSession::evaluate(self, &arena, &plan);
+        roots.iter().map(|r| session.verdict(*r)).collect()
+    }
+}
+
+/// The standard regression battery: every proposition kind, the
+/// knowledge operators, and the temporal operators — 33 formulas at
+/// `n = 3`. Shared by the equivalence suites, the benches, and the
+/// `--bench-json` battery timings, so "the 33-formula battery" means the
+/// same thing everywhere.
+#[must_use]
+pub fn standard_battery(n: usize) -> Vec<Formula> {
+    let a = AgentId::new;
+    let mut fs = vec![
+        Formula::True,
+        Formula::ExistsInit(Value::One),
+        Formula::TimeIs(1),
+        Formula::EveryoneNonfaulty(Box::new(Formula::ExistsInit(Value::One))),
+        Formula::common_nonfaulty(Formula::ExistsInit(Value::Zero)),
+        Formula::Next(Box::new(Formula::DecidedIs(a(0), Some(Value::One)))),
+        Formula::Prev(Box::new(Formula::DecidedIs(a(0), None))),
+        Formula::Henceforth(Box::new(Formula::DecidedIs(a(0), Some(Value::Zero)))),
+        Formula::Eventually(Box::new(Formula::not(Formula::DecidedIs(a(0), None)))),
+        Formula::someone_just_decided(n, Value::Zero),
+        Formula::nobody_deciding(n, Value::Zero),
+        Formula::no_nonfaulty_decided(n, Value::One),
+    ];
+    for i in 0..n {
+        fs.push(Formula::InitIs(a(i), Value::Zero));
+        fs.push(Formula::DecidedIs(a(i), Some(Value::One)));
+        fs.push(Formula::DecidedIs(a(i), None));
+        fs.push(Formula::Nonfaulty(a(i)));
+        fs.push(Formula::JustDecided(a(i), Value::One));
+        fs.push(Formula::Deciding(a(i), Value::Zero));
+        fs.push(Formula::knows(a(i), Formula::ExistsInit(Value::Zero)));
+    }
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    fn sys() -> InterpretedSystem<MinExchange> {
+        let params = Params::new(3, 1).unwrap();
+        let ex = MinExchange::new(params);
+        let proto = PMin::new(params);
+        InterpretedSystem::build(ex, &proto, 4, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn interning_dedups_structural_equality() {
+        let mut arena = FormulaArena::new();
+        let a = arena.exists_init(Value::Zero);
+        let b = arena.exists_init(Value::Zero);
+        assert_eq!(a, b);
+        let f = Formula::implies(
+            Formula::ExistsInit(Value::Zero),
+            Formula::ExistsInit(Value::Zero),
+        );
+        let root = arena.intern(&f);
+        // ∃0 already interned; only ¬∃0 and the Or are new.
+        assert_eq!(arena.node_count(), 3);
+        assert_eq!(arena.reachable_count(root), 3);
+    }
+
+    #[test]
+    fn node_ids_are_topological() {
+        let mut arena = FormulaArena::new();
+        let f = Formula::knows(
+            AgentId::new(1),
+            Formula::And(vec![
+                Formula::ExistsInit(Value::One),
+                Formula::not(Formula::Nonfaulty(AgentId::new(0))),
+            ]),
+        );
+        let root = arena.intern(&f);
+        for (idx, node) in (0..arena.node_count()).map(|i| (i, arena.node(NodeId(i as u32)))) {
+            for c in node.children() {
+                assert!(c.index() < idx, "child {c:?} not before parent {idx}");
+            }
+        }
+        assert_eq!(root.index(), arena.node_count() - 1);
+    }
+
+    #[test]
+    fn plan_schedules_only_reachable_nodes() {
+        let mut arena = FormulaArena::new();
+        let used = arena.exists_init(Value::One);
+        let _unused = arena.exists_init(Value::Zero);
+        let root = arena.not(used);
+        let plan = QueryPlan::new(&arena, &[root]);
+        assert_eq!(plan.evaluated_node_count(), 2);
+        assert_eq!(plan.naive_node_count(), 2);
+        assert_eq!(plan.roots(), &[root]);
+    }
+
+    #[test]
+    fn batched_verdicts_match_recursive_eval() {
+        let s = sys();
+        for f in standard_battery(3) {
+            let verdict = s.query(&f);
+            let oracle = s.eval_recursive(&f);
+            assert_eq!(verdict.holds, oracle.count() == s.point_count(), "{f:?}");
+            match verdict.counterexample {
+                None => assert!(verdict.holds),
+                Some((run, time)) => {
+                    assert!(!s.satisfied_at(&f, run, time), "{f:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shares_subformulas_across_roots() {
+        let phi = Formula::ExistsInit(Value::Zero);
+        let roots = [
+            Formula::knows(AgentId::new(0), phi.clone()),
+            Formula::knows(AgentId::new(1), phi.clone()),
+            Formula::common_nonfaulty(phi),
+        ];
+        let mut arena = FormulaArena::new();
+        let ids: Vec<NodeId> = roots.iter().map(|f| arena.intern(f)).collect();
+        let plan = QueryPlan::new(&arena, &ids);
+        // φ is shared: 1 leaf + 3 operators = 4 distinct nodes, versus
+        // 2 + 2 + 2 naively.
+        assert_eq!(plan.evaluated_node_count(), 4);
+        assert_eq!(plan.naive_node_count(), 6);
+    }
+
+    #[test]
+    fn verdict_counterexample_is_first_falsifying_point() {
+        let s = sys();
+        // init_0 = 0 fails exactly on the runs where a0 prefers 1; the
+        // engine must report the earliest such point.
+        let f = Formula::InitIs(AgentId::new(0), Value::Zero);
+        let verdict = s.query(&f);
+        assert!(!verdict.holds);
+        let (run, time) = verdict.counterexample.unwrap();
+        assert!(!s.satisfied_at(&f, run, time));
+        let set = s.eval_recursive(&f);
+        let first = (0..s.point_count()).find(|p| !set.contains(*p)).unwrap();
+        assert_eq!(s.point(run, time) as usize, first);
+    }
+
+    #[test]
+    fn arena_combinators_match_interned_formula_helpers() {
+        // The interning constructors must produce the exact node
+        // structure `intern(&Formula::helper(..))` would.
+        let params = Params::new(4, 2).unwrap();
+        let mut via_formula = FormulaArena::new();
+        let mut direct = FormulaArena::new();
+        for v in Value::ALL {
+            assert_eq!(
+                via_formula.intern(&Formula::someone_just_decided(4, v)),
+                direct.someone_just_decided(4, v)
+            );
+            assert_eq!(
+                via_formula.intern(&Formula::nobody_deciding(4, v)),
+                direct.nobody_deciding(4, v)
+            );
+            assert_eq!(
+                via_formula.intern(&Formula::no_nonfaulty_decided(4, v)),
+                direct.no_nonfaulty_decided(4, v)
+            );
+            let phi = crate::kbp::ck_t_faulty_and(params, Formula::ExistsInit(v));
+            let phi_id = direct.exists_init(v);
+            assert_eq!(
+                via_formula.intern(&phi),
+                direct.ck_t_faulty_and(params, phi_id)
+            );
+        }
+        assert_eq!(via_formula.node_count(), direct.node_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different arena")]
+    fn sessions_reject_plans_from_unrelated_arenas() {
+        let s = sys();
+        let mut a = FormulaArena::new();
+        let root = a.exists_init(Value::One);
+        let plan = QueryPlan::new(&a, &[root]);
+        // Same node count, entirely different arena: must panic, not
+        // silently resolve the plan's ids against the wrong table.
+        let mut b = FormulaArena::new();
+        let _ = b.exists_init(Value::Zero);
+        let _ = EvalSession::evaluate(&s, &b, &plan);
+    }
+
+    #[test]
+    fn standard_battery_has_33_formulas_at_n3_and_dedups() {
+        let battery = standard_battery(3);
+        assert_eq!(battery.len(), 33);
+        let mut arena = FormulaArena::new();
+        let roots: Vec<NodeId> = battery.iter().map(|f| arena.intern(f)).collect();
+        let plan = QueryPlan::new(&arena, &roots);
+        assert!(
+            plan.evaluated_node_count() < plan.naive_node_count(),
+            "dedup must fire: {} vs {}",
+            plan.evaluated_node_count(),
+            plan.naive_node_count()
+        );
+    }
+}

@@ -16,6 +16,14 @@
 //! null`): the 25.2M-run `E_fip/P_opt@general_omission` context streams
 //! to a verdict in minutes, but a 126M-point system is not worth
 //! building inside a battery row.
+//!
+//! Formula evaluation goes through the compiled query engine: the EBA
+//! validities are answered as one batched
+//! [`QueryPlan`], and each built system
+//! additionally times the [`standard_battery`] (33 formulas at `n = 3`)
+//! as a single [`EvalSession`] pass, recording the evaluated-node count
+//! against the naive per-formula total so the hash-consing win is
+//! tracked release over release.
 
 use std::io::Write as _;
 
@@ -41,10 +49,20 @@ pub struct SystemBuild {
     /// Wall-clock seconds to stream-build the system (enumeration +
     /// interning + classes).
     pub build_seconds: f64,
-    /// Wall-clock seconds to model-check the EBA validities over it.
+    /// Wall-clock seconds to model-check the EBA validities over it
+    /// (one batched query plan).
     pub check_seconds: f64,
     /// Whether Agreement and strong Validity are valid in the system.
     pub spec_valid: bool,
+    /// Formulas in the timed [`standard_battery`].
+    pub battery_formulas: usize,
+    /// Distinct nodes the battery's compiled plan evaluated.
+    pub battery_evaluated_nodes: usize,
+    /// Node evaluations the same battery would cost as independent
+    /// per-formula `eval` calls.
+    pub battery_naive_nodes: usize,
+    /// Wall-clock seconds of the batched battery evaluation.
+    pub battery_eval_seconds: f64,
 }
 
 /// A battery row plus its optional system build.
@@ -77,31 +95,51 @@ impl StackVisitor for BuildSystem {
             Parallelism::Auto,
         )?;
         let build_seconds = t0.elapsed().as_secs_f64();
+
+        // The EBA validities as one compiled batch: every `DecidedIs` /
+        // `Nonfaulty` / `ExistsInit` leaf is interned once across all
+        // n² + 2n spec roots.
         let t1 = std::time::Instant::now();
-        let mut spec_valid = true;
+        let mut spec = Vec::new();
         for i in AgentId::all(n) {
             for j in AgentId::all(n) {
-                let agree = Formula::not(Formula::And(vec![
+                spec.push(Formula::not(Formula::And(vec![
                     Formula::Nonfaulty(i),
                     Formula::Nonfaulty(j),
                     Formula::DecidedIs(i, Some(Value::Zero)),
                     Formula::DecidedIs(j, Some(Value::One)),
-                ]));
-                spec_valid &= sys.valid(&agree);
+                ])));
             }
             for v in Value::ALL {
-                let validity =
-                    Formula::implies(Formula::DecidedIs(i, Some(v)), Formula::ExistsInit(v));
-                spec_valid &= sys.valid(&validity);
+                spec.push(Formula::implies(
+                    Formula::DecidedIs(i, Some(v)),
+                    Formula::ExistsInit(v),
+                ));
             }
         }
+        let spec_valid = sys.query_batch(&spec).iter().all(|verdict| verdict.holds);
+        let check_seconds = t1.elapsed().as_secs_f64();
+
+        // The standard regression battery, timed as one session.
+        let battery = standard_battery(n);
+        let mut arena = FormulaArena::new();
+        let roots: Vec<NodeId> = battery.iter().map(|f| arena.intern(f)).collect();
+        let plan = QueryPlan::new(&arena, &roots);
+        let t2 = std::time::Instant::now();
+        let session = EvalSession::evaluate(&sys, &arena, &plan);
+        let battery_eval_seconds = t2.elapsed().as_secs_f64();
+
         Ok(SystemBuild {
             runs: sys.run_count(),
             points: sys.point_count(),
             distinct_states: sys.distinct_states(),
             build_seconds,
-            check_seconds: t1.elapsed().as_secs_f64(),
+            check_seconds,
             spec_valid,
+            battery_formulas: battery.len(),
+            battery_evaluated_nodes: session.nodes_evaluated(),
+            battery_naive_nodes: plan.naive_node_count(),
+            battery_eval_seconds,
         })
     }
 }
@@ -183,8 +221,19 @@ pub fn render(
             None => "null".to_string(),
             Some(s) => format!(
                 "{{ \"runs\": {}, \"points\": {}, \"distinct_states\": {}, \
-                 \"build_seconds\": {:.3}, \"check_seconds\": {:.3}, \"spec_valid\": {} }}",
-                s.runs, s.points, s.distinct_states, s.build_seconds, s.check_seconds, s.spec_valid
+                 \"build_seconds\": {:.3}, \"check_seconds\": {:.3}, \"spec_valid\": {}, \
+                 \"battery\": {{ \"formulas\": {}, \"evaluated_nodes\": {}, \
+                 \"naive_nodes\": {}, \"eval_seconds\": {:.3} }} }}",
+                s.runs,
+                s.points,
+                s.distinct_states,
+                s.build_seconds,
+                s.check_seconds,
+                s.spec_valid,
+                s.battery_formulas,
+                s.battery_evaluated_nodes,
+                s.battery_naive_nodes,
+                s.battery_eval_seconds
             ),
         };
         out.push_str(&format!(
@@ -246,12 +295,22 @@ mod tests {
             assert_eq!(sys.points, 8 * 5);
             assert!(sys.distinct_states > 0);
             assert!(sys.spec_valid, "{}", rec.row.stack);
+            assert_eq!(sys.battery_formulas, 33, "{}", rec.row.stack);
+            assert!(
+                sys.battery_evaluated_nodes < sys.battery_naive_nodes,
+                "{}: hash-consing must beat {} naive node evals, got {}",
+                rec.row.stack,
+                sys.battery_naive_nodes,
+                sys.battery_evaluated_nodes
+            );
         }
         let horizon = Params::new(3, 1).unwrap().default_horizon();
         let doc = render(FailureModel::FailureFree, 3, 1, horizon, &records);
         assert!(doc.contains("\"schema\": \"eba-bench-v1\""));
         assert!(doc.contains("\"stack\": \"E_fip/P_opt@failure_free\""));
         assert!(doc.contains("\"distinct_states\""));
+        assert!(doc.contains("\"battery\""));
+        assert!(doc.contains("\"evaluated_nodes\""));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

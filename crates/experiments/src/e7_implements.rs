@@ -33,6 +33,9 @@ pub struct E7Row {
     pub runs: usize,
     /// `(point, agent)` pairs compared.
     pub comparisons: usize,
+    /// Distinct formula nodes the program's compiled guard plan
+    /// evaluated (shared bodies and `C_N` towers counted once).
+    pub plan_nodes: usize,
     /// Disagreements (0 = the theorem holds on this instance).
     pub mismatches: usize,
 }
@@ -77,6 +80,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             program: program.name(),
             runs: report.runs,
             comparisons: report.comparisons,
+            plan_nodes: report.evaluated_nodes,
             mismatches: report.mismatches.len(),
         }
     };
@@ -98,6 +102,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             program: program.name(),
             runs: report.runs,
             comparisons: report.comparisons,
+            plan_nodes: report.evaluated_nodes,
             mismatches: report.mismatches.len(),
         }
     };
@@ -129,6 +134,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
                 program: program.name(),
                 runs: report.runs,
                 comparisons: report.comparisons,
+                plan_nodes: report.evaluated_nodes,
                 mismatches: report.mismatches.len(),
             });
         }
@@ -147,6 +153,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             "program",
             "runs",
             "comparisons",
+            "plan nodes",
             "mismatches",
         ],
     );
@@ -157,6 +164,7 @@ pub fn run(config: E7Config) -> (Vec<E7Row>, Table) {
             cell(r.program),
             cell(r.runs),
             cell(r.comparisons),
+            cell(r.plan_nodes),
             cell(r.mismatches),
         ]);
     }
@@ -177,6 +185,7 @@ mod tests {
         for r in &rows {
             assert_eq!(r.mismatches, 0, "{r:?}");
             assert!(r.runs > 0 && r.comparisons > 0);
+            assert!(r.plan_nodes > 0, "{r:?}");
         }
     }
 

@@ -12,10 +12,16 @@
 //! arena-backed) interpreted system in
 //! `crates/epistemic/tests/paper_lemmas.rs`, which is what licenses this
 //! experiment's graph-level shortcut at scales (`n` up to 20) no
-//! exhaustive run set could reach.
+//! exhaustive run set could reach. On instances small enough to
+//! enumerate exhaustively (`(3, 1)`), the experiment additionally
+//! recomputes the onset through the **compiled query engine** — one
+//! batched `K_observer(C_N(t-faulty ∧ …))` plan over the complete
+//! interpreted system ([`model_checked_ck_onset`]) — and reports it next
+//! to the graph shortcut.
 
 use eba_core::graph::FipAnalysis;
 use eba_core::prelude::*;
+use eba_epistemic::prelude::*;
 use eba_sim::prelude::*;
 
 use crate::table::{cell, Table};
@@ -31,10 +37,87 @@ pub struct E9Row {
     pub faults_known_time: u32,
     /// First time the `common_v(1)` condition holds for a nonfaulty agent.
     pub ck_onset_time: u32,
+    /// The same onset recomputed by the batched query engine over the
+    /// complete interpreted system — `None` when the instance is too
+    /// large to enumerate exhaustively (anything beyond `(3, 1)`).
+    pub ck_onset_model_checked: Option<u32>,
     /// `P_opt`'s decision round (expected `ck_onset_time + 1`).
     pub popt_round: u32,
     /// `P_min`'s decision round (expected `t + 2`).
     pub pmin_round: u32,
+}
+
+/// The first time the observer (the first nonfaulty agent) satisfies
+/// `K_i(C_N(t-faulty ∧ no-decided_N(0) ∧ ∃1))` on the silent-faulty
+/// all-ones run — the brute-force, whole-system counterpart of the
+/// `common_1` graph condition, answered through one compiled
+/// [`QueryPlan`].
+///
+/// The system is built at horizon 3: the onset is at time 2 and
+/// knowledge at time `m` only depends on the time-`m` state sets, which
+/// are prefix-stable across horizons, so the shorter system answers the
+/// same question at a fraction of the cost of the full `t + 3` one.
+///
+/// # Errors
+///
+/// Propagates enumeration/system-construction failures (instance too
+/// large), and reports [`EbaError::InvalidInput`] if the silent run is
+/// missing from the enumerated system or common knowledge never arises
+/// within the horizon.
+pub fn model_checked_ck_onset(params: Params) -> Result<u32, EbaError> {
+    let n = params.n();
+    let t = params.t();
+    let horizon = 3;
+    let silent: AgentSet = (0..t).map(AgentId::new).collect();
+    let pattern = silent_pattern(params, silent, horizon)?;
+    let inits = vec![Value::One; n];
+    let observer = AgentId::new(t);
+
+    let ctx = Context::fip(params);
+    let trace = Scenario::of(&ctx)
+        .pattern(pattern)
+        .inits(&inits)
+        .horizon(horizon)
+        .run()?;
+    let sys = InterpretedSystem::from_context(
+        Context::fip(params),
+        horizon,
+        2_000_000,
+        Parallelism::Auto,
+    )?;
+
+    // Locate the silent run inside the complete system: same nonfaulty
+    // set, same inits, same trajectory (runs are deduplicated by
+    // exactly this key).
+    let run = (0..sys.run_count())
+        .find(|&r| {
+            sys.nonfaulty(r) == trace.nonfaulty()
+                && sys.inits(r) == &inits[..]
+                && (0..=horizon).all(|m| {
+                    let pid = sys.point(r, m);
+                    AgentId::all(n)
+                        .all(|i| sys.local_state(pid, i) == &trace.states[m as usize][i.index()])
+                })
+        })
+        .ok_or_else(|| {
+            EbaError::InvalidInput("silent run not found in the enumerated system".into())
+        })?;
+
+    let mut arena = FormulaArena::new();
+    let guard = {
+        let nd0 = arena.no_nonfaulty_decided(n, Value::Zero);
+        let e1 = arena.exists_init(Value::One);
+        let body = arena.and(vec![nd0, e1]);
+        arena.ck_t_faulty_and(params, body)
+    };
+    let root = arena.knows(observer, guard);
+    let plan = QueryPlan::new(&arena, &[root]);
+    let session = EvalSession::evaluate(&sys, &arena, &plan);
+    (0..=horizon)
+        .find(|&m| session.holds_at(root, run, m))
+        .ok_or_else(|| {
+            EbaError::InvalidInput("common knowledge never arose within the horizon".into())
+        })
 }
 
 /// Runs the silent-faulty timeline for each `(n, t)` configuration.
@@ -75,11 +158,18 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
             .run()
             .expect("run");
 
+        // On exhaustively enumerable instances, cross-check the graph
+        // shortcut against the compiled query engine over the complete
+        // interpreted system.
+        let ck_onset_model_checked = (n == 3 && t == 1)
+            .then(|| model_checked_ck_onset(params).expect("(3, 1) is enumerable"));
+
         rows.push(E9Row {
             n,
             t,
             faults_known_time,
             ck_onset_time,
+            ck_onset_model_checked,
             popt_round: trace
                 .metrics
                 .max_decision_round(pattern.nonfaulty())
@@ -96,12 +186,15 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
         "Silent-faulty all-ones runs. The epistemic timeline is constant: \
          every nonfaulty agent knows all t faults at time 1, common \
          knowledge arrives at time 2, P_opt decides in round 3 — while \
-         P_min scales linearly with t.",
+         P_min scales linearly with t. On (3, 1) the onset is also \
+         recomputed by the batched query engine over the complete \
+         interpreted system (— elsewhere: too large to enumerate).",
         &[
             "n",
             "t",
             "faults known (time)",
             "CK onset (time)",
+            "CK onset (query engine)",
             "P_opt round",
             "P_min round",
         ],
@@ -112,6 +205,8 @@ pub fn run(configs: &[(usize, usize)]) -> (Vec<E9Row>, Table) {
             cell(r.t),
             cell(r.faults_known_time),
             cell(r.ck_onset_time),
+            r.ck_onset_model_checked
+                .map_or_else(|| "—".to_string(), |m| m.to_string()),
             cell(r.popt_round),
             cell(r.pmin_round),
         ]);
@@ -131,7 +226,22 @@ mod tests {
             assert_eq!(r.ck_onset_time, 2, "{r:?}");
             assert_eq!(r.popt_round, 3, "{r:?}");
             assert_eq!(r.pmin_round, r.t as u32 + 2, "{r:?}");
+            assert!(r.ck_onset_model_checked.is_none(), "{r:?}");
         }
+    }
+
+    #[test]
+    fn query_engine_confirms_the_graph_shortcut_at_3_1() {
+        // The complete-system brute force (one compiled
+        // K_observer(C_N(t-faulty ∧ …)) plan) must agree with the
+        // polynomial graph condition: common knowledge at time 2.
+        let (rows, table) = run(&[(3, 1)]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.ck_onset_time, 2, "{r:?}");
+        assert_eq!(r.ck_onset_model_checked, Some(r.ck_onset_time), "{r:?}");
+        assert_eq!(r.popt_round, r.ck_onset_time + 1, "{r:?}");
+        assert!(table.to_markdown().contains("query engine"));
     }
 
     #[test]

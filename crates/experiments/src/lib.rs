@@ -29,7 +29,10 @@
 //! flags compose: `-- --stack E_fip/P_opt --model general` summarizes one
 //! stack in one model. `-- --model <m> --bench-json <path>` additionally
 //! writes machine-readable build/check timings and point counts (see
-//! [`bench_json`]), seeding the `BENCH_*.json` trajectory.
+//! [`bench_json`]), seeding the `BENCH_*.json` trajectory. `--explain`
+//! re-examines failing spec rows through the compiled query engine and
+//! prints a witnessing `(run, time)` counterexample per violated
+//! property (see [`explain`]).
 //!
 //! Every experiment drives the protocols through the first-class
 //! `Context`/`Scenario` API:
@@ -60,6 +63,7 @@ pub mod e6_latency_curves;
 pub mod e7_implements;
 pub mod e8_bias_counterexample;
 pub mod e9_ck_onset;
+pub mod explain;
 pub mod model_battery;
 pub mod stack_summary;
 pub mod table;

@@ -2,8 +2,8 @@
 //! them as markdown (the content of `EXPERIMENTS.md`).
 //!
 //! Usage: `cargo run --release -p eba-experiments [--quick]`
-//!        `cargo run --release -p eba-experiments -- --stack <name> [--model <model>] [--n N] [--t T]`
-//!        `cargo run --release -p eba-experiments -- --model <model> [--n N] [--t T] [--bench-json <path>]`
+//!        `cargo run --release -p eba-experiments -- --stack <name> [--model <model>] [--n N] [--t T] [--explain]`
+//!        `cargo run --release -p eba-experiments -- --model <model> [--n N] [--t T] [--bench-json <path>] [--explain]`
 //!
 //! `--quick` shrinks the sweeps and skips the heavyweight full-information
 //! model check (E7's γ_fip row). `--stack` selects one registered stack by
@@ -17,6 +17,10 @@
 //! machine-readable build/check timings and point counts: the battery's
 //! streamed exhaustive-check measurements plus a streamed
 //! interpreted-system build per stack where the run set fits.
+//! `--explain` (either selected mode) re-examines rows whose spec check
+//! failed through the compiled query engine and prints one witnessing
+//! `(run, time)` counterexample per violated EBA property, with the
+//! run's failure-pattern footprint and initial preferences.
 
 use eba_experiments as ex;
 
@@ -33,14 +37,35 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     }
 }
 
+/// Whether a battery/summary row's streamed spec check found violating
+/// runs (a skipped enumeration has no verdict to explain).
+fn spec_check_failed(enumerated: &Result<usize, eba_core::types::EbaError>, ok: usize) -> bool {
+    matches!(enumerated, Ok(total) if ok < *total)
+}
+
+/// Re-examines one failing row through the compiled query engine and
+/// prints its counterexample report (skipping, with a note, rows whose
+/// run set is too large to build as an interpreted system).
+fn print_explanation(stack: &str, n: usize, t: usize) {
+    match ex::explain::explain(stack, n, t, ex::bench_json::SYSTEM_BUILD_LIMIT) {
+        Ok(report) => println!("{report}"),
+        Err(e) => eprintln!("--explain {stack}: skipped ({e})"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     let stack = flag_value(&args, "--stack");
     let model = flag_value(&args, "--model");
     let bench_json = flag_value(&args, "--bench-json");
+    let explain = args.iter().any(|a| a == "--explain");
     if bench_json.is_some() && (model.is_none() || stack.is_some()) {
         eprintln!("error: --bench-json requires battery mode (--model without --stack)");
+        std::process::exit(2);
+    }
+    if explain && stack.is_none() && model.is_none() {
+        eprintln!("error: --explain requires --stack or --model");
         std::process::exit(2);
     }
     if stack.is_some() || model.is_some() {
@@ -73,7 +98,14 @@ fn main() {
                     None => stack,
                 };
                 match ex::stack_summary::run(&qualified, n, t) {
-                    Ok((_, table)) => println!("{table}"),
+                    Ok((summary, table)) => {
+                        println!("{table}");
+                        let failed =
+                            spec_check_failed(&summary.enumerated_runs, summary.spec_ok_runs);
+                        if explain && failed {
+                            print_explanation(&summary.stack, n, t);
+                        }
+                    }
                     Err(e) => fail(e),
                 }
             }
@@ -84,6 +116,13 @@ fn main() {
                 match ex::model_battery::run(model, n, t) {
                     Ok((rows, table)) => {
                         println!("{table}");
+                        if explain {
+                            for row in &rows {
+                                if spec_check_failed(&row.enumerated_runs, row.spec_ok_runs) {
+                                    print_explanation(&row.stack, n, t);
+                                }
+                            }
+                        }
                         if let Some(path) = bench_json {
                             let records = ex::bench_json::collect(model, n, t, &rows)
                                 .unwrap_or_else(|e| fail(e));
@@ -161,10 +200,12 @@ fn main() {
     let (_, t8) = ex::e8_bias_counterexample::run(if quick { 100 } else { 1000 }, 0xEBA);
     println!("{t8}");
 
+    // (3, 1) is exhaustively enumerable, so the full sweep also carries
+    // the query-engine cross-check column for that row.
     let e9_configs: &[(usize, usize)] = if quick {
         &[(4, 1), (6, 2)]
     } else {
-        &[(4, 1), (6, 2), (8, 3), (12, 5), (16, 7), (20, 9)]
+        &[(3, 1), (4, 1), (6, 2), (8, 3), (12, 5), (16, 7), (20, 9)]
     };
     let (_, t9) = ex::e9_ck_onset::run(e9_configs);
     println!("{t9}");

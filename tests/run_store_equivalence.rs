@@ -19,36 +19,6 @@ use eba::prelude::*;
 use eba::sim::enumerate::{enumerate_model_into, EnumRun};
 use proptest::prelude::*;
 
-/// A battery of formulas exercising every proposition kind, the knowledge
-/// operators, and the temporal operators.
-fn formula_battery(n: usize) -> Vec<Formula> {
-    let a = |i: usize| AgentId::new(i);
-    let mut fs = vec![
-        Formula::True,
-        Formula::ExistsInit(Value::One),
-        Formula::TimeIs(1),
-        Formula::EveryoneNonfaulty(Box::new(Formula::ExistsInit(Value::One))),
-        Formula::common_nonfaulty(Formula::ExistsInit(Value::Zero)),
-        Formula::Next(Box::new(Formula::DecidedIs(a(0), Some(Value::One)))),
-        Formula::Prev(Box::new(Formula::DecidedIs(a(0), None))),
-        Formula::Henceforth(Box::new(Formula::DecidedIs(a(0), Some(Value::Zero)))),
-        Formula::Eventually(Box::new(Formula::not(Formula::DecidedIs(a(0), None)))),
-        Formula::someone_just_decided(n, Value::Zero),
-        Formula::nobody_deciding(n, Value::Zero),
-        Formula::no_nonfaulty_decided(n, Value::One),
-    ];
-    for i in 0..n {
-        fs.push(Formula::InitIs(a(i), Value::Zero));
-        fs.push(Formula::DecidedIs(a(i), Some(Value::One)));
-        fs.push(Formula::DecidedIs(a(i), None));
-        fs.push(Formula::Nonfaulty(a(i)));
-        fs.push(Formula::JustDecided(a(i), Value::One));
-        fs.push(Formula::Deciding(a(i), Value::Zero));
-        fs.push(Formula::knows(a(i), Formula::ExistsInit(Value::Zero)));
-    }
-    fs
-}
-
 /// Builds one stack's system both ways and asserts bit-for-bit equality
 /// of everything observable.
 struct StoreEqualsLegacy {
@@ -129,8 +99,9 @@ impl StackVisitor for StoreEqualsLegacy {
             );
         }
 
-        // Same `eval` bitsets across the formula battery.
-        for f in formula_battery(n) {
+        // Same `eval` bitsets across the standard formula battery (the
+        // shared 33-formula battery from `eba_epistemic::query`).
+        for f in standard_battery(n) {
             assert_eq!(streamed.eval(&f), legacy.eval(&f), "{label}: {f:?}");
         }
 

@@ -1,0 +1,67 @@
+//! Bench — the committed `.eba` scenario corpus, end to end.
+//!
+//! Reprints the corpus battery table (every committed scenario parsed,
+//! validated, and run once through the lockstep simulator), asserts the
+//! known verdicts (the two whisper scenarios violate Agreement, nothing
+//! else does), and measures the load-and-run sweep plus the parse/print
+//! round-trip throughput.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_core::corpus::parse_scenario;
+use eba_experiments::corpus;
+
+/// The committed corpus, located relative to this crate.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let dir = corpus_dir();
+    let (rows, table) = corpus::run(&dir).expect("the committed corpus must load and run");
+    println!("\n{table}");
+
+    // Known verdicts: exactly the whisper scenarios violate Agreement.
+    for row in &rows {
+        let expect_violation = row.file.contains("whisper");
+        assert_eq!(
+            row.violation.as_ref().map(|v| v.kind.as_str()),
+            expect_violation.then_some("agreement"),
+            "{}: {:?}",
+            row.file,
+            row.violation
+        );
+    }
+    assert!(
+        rows.iter().filter(|r| r.violation.is_some()).count() >= 2,
+        "both whisper scenarios must be present"
+    );
+
+    let mut group = c.benchmark_group("corpus_sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("load_validate_run_all", |b| {
+        b.iter(|| black_box(corpus::run(black_box(&dir))).unwrap().0.len())
+    });
+
+    let texts: Vec<String> = rows.iter().map(|r| r.spec.print()).collect();
+    group.bench_function("parse_print_round_trip", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| {
+                    let spec = parse_scenario(black_box(t)).unwrap().spec;
+                    black_box(spec.print()).len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod context;
+pub mod corpus;
 pub mod exchange;
 pub mod failures;
 pub mod graph;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::context::{
         validate_scenario_shape, Context, NamedStack, StackVisitor, STACK_NAMES,
     };
+    pub use crate::corpus::{parse_scenario, ParsedScenario, ScenarioSpec};
     pub use crate::exchange::{
         BasicExchange, BasicMsg, BasicState, FipExchange, FipMsg, FipState, InformationExchange,
         MinExchange, MinMsg, MinState, NaiveExchange, NaiveMsg, NaiveState,

@@ -51,6 +51,7 @@ pub mod formula;
 pub mod implements;
 pub mod kbp;
 pub mod query;
+pub mod spec;
 pub mod system;
 
 /// Convenient re-exports of the most commonly used items.
@@ -60,6 +61,9 @@ pub mod prelude {
     pub use crate::kbp::{ck_t_faulty_and, prescriptions};
     pub use crate::query::{
         standard_battery, EvalSession, FormulaArena, NodeId, QueryPlan, Verdict,
+    };
+    pub use crate::spec::{
+        check_spec, eba_spec_properties, CheckAt, EngineOracle, SpecProperty, SpecVerdict,
     };
     pub use crate::system::{InterpretedSystem, PointId};
 }

@@ -106,14 +106,6 @@ impl ExplainReport {
     }
 }
 
-/// How a spec root is judged: as a validity over every point, or only at
-/// the time-0 point of every run (bounded Termination is a claim about
-/// whole runs, not about suffixes).
-enum CheckAt {
-    EveryPoint,
-    TimeZero,
-}
-
 struct Explainer {
     horizon: u32,
     limit: usize,
@@ -135,78 +127,23 @@ impl StackVisitor for Explainer {
             Parallelism::Auto,
         )?;
 
-        // The EBA spec as named formulas (the formula-level counterpart
-        // of the streamed `enum_run_satisfies_eba` predicate).
-        let mut props: Vec<(String, Formula, CheckAt)> = Vec::new();
-        for i in AgentId::all(n) {
-            for j in AgentId::all(n) {
-                if i == j {
-                    continue;
-                }
-                props.push((
-                    format!("Agreement({i} = 0, {j} = 1)"),
-                    Formula::not(Formula::And(vec![
-                        Formula::Nonfaulty(i),
-                        Formula::Nonfaulty(j),
-                        Formula::DecidedIs(i, Some(Value::Zero)),
-                        Formula::DecidedIs(j, Some(Value::One)),
-                    ])),
-                    CheckAt::EveryPoint,
-                ));
-            }
-            for v in Value::ALL {
-                props.push((
-                    format!("StrongValidity({i}, {v})"),
-                    Formula::implies(Formula::DecidedIs(i, Some(v)), Formula::ExistsInit(v)),
-                    CheckAt::EveryPoint,
-                ));
-            }
-            props.push((
-                format!("Termination({i})"),
-                Formula::implies(
-                    Formula::Nonfaulty(i),
-                    Formula::Eventually(Box::new(Formula::not(Formula::DecidedIs(i, None)))),
-                ),
-                CheckAt::TimeZero,
-            ));
-        }
-
-        // One compiled batch for the whole spec: shared leaves interned
-        // once, one bitset per distinct node, witnesses from verdicts.
-        let mut arena = FormulaArena::new();
-        let roots: Vec<NodeId> = props.iter().map(|(_, f, _)| arena.intern(f)).collect();
-        let plan = QueryPlan::new(&arena, &roots);
-        let session = EvalSession::evaluate(&sys, &arena, &plan);
-
+        // The EBA spec as named formulas (shared with the fuzzer's
+        // engine oracle): one compiled batch, shared leaves interned
+        // once, witnesses from verdicts, every witness re-checked through
+        // the independent legacy recursion (`check_spec`). An unconfirmed
+        // witness would mean an engine bug — it is still reported, but
+        // loudly flagged.
+        let properties = eba_spec_properties(n).len();
         let mut findings = Vec::new();
-        for ((name, formula, check), root) in props.iter().zip(&roots) {
-            let witness = match check {
-                CheckAt::EveryPoint => session.verdict(*root).counterexample,
-                CheckAt::TimeZero => (0..sys.run_count())
-                    .find(|r| !session.holds_at(*root, *r, 0))
-                    .map(|r| (r, 0)),
-            };
-            let Some((run, time)) = witness else {
-                continue;
-            };
-            // The counterexample contract: every engine-produced witness
-            // is re-checked through the independent legacy recursion, in
-            // release too (one `eval_recursive` per finding on a
-            // size-capped system). An unconfirmed witness would mean an
-            // engine bug — it is still reported, but loudly flagged.
-            let oracle_confirmed = !sys.satisfied_at(formula, run, time);
-            debug_assert!(
-                oracle_confirmed,
-                "{name}: engine witness (run {run}, time {time}) not confirmed by the oracle"
-            );
-            let horizon_point = sys.point(run, sys.horizon());
+        for v in check_spec(&sys) {
+            let horizon_point = sys.point(v.run, sys.horizon());
             findings.push(SpecCounterexample {
-                property: name.clone(),
-                run,
-                time,
-                oracle_confirmed,
-                nonfaulty: sys.nonfaulty(run),
-                inits: sys.inits(run).to_vec(),
+                property: v.property,
+                run: v.run,
+                time: v.time,
+                oracle_confirmed: v.oracle_confirmed,
+                nonfaulty: sys.nonfaulty(v.run),
+                inits: sys.inits(v.run).to_vec(),
                 horizon_decisions: AgentId::all(n)
                     .map(|a| sys.decided_at(horizon_point, a))
                     .collect(),
@@ -215,7 +152,7 @@ impl StackVisitor for Explainer {
         Ok(ExplainReport {
             stack: ctx.qualified_name(),
             runs: sys.run_count(),
-            properties: props.len(),
+            properties,
             findings,
         })
     }

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod bench_json;
+pub mod corpus;
 pub mod e1_bits;
 pub mod e2_failure_free_zero;
 pub mod e3_failure_free_ones;
@@ -64,6 +65,7 @@ pub mod e7_implements;
 pub mod e8_bias_counterexample;
 pub mod e9_ck_onset;
 pub mod explain;
+pub mod fuzz_cli;
 pub mod model_battery;
 pub mod stack_summary;
 pub mod table;

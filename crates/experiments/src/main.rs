@@ -4,6 +4,8 @@
 //! Usage: `cargo run --release -p eba-experiments [--quick]`
 //!        `cargo run --release -p eba-experiments -- --stack <name> [--model <model>] [--n N] [--t T] [--explain]`
 //!        `cargo run --release -p eba-experiments -- --model <model> [--n N] [--t T] [--bench-json <path>] [--explain]`
+//!        `cargo run --release -p eba-experiments -- --corpus <dir>`
+//!        `cargo run --release -p eba-experiments -- --fuzz --stack <name> [--model <model>] [--n N] [--t T] [--fuzz-seed S] [--fuzz-iters K] [--corpus <dir>] [--fuzz-out <path>]`
 //!
 //! `--quick` shrinks the sweeps and skips the heavyweight full-information
 //! model check (E7's γ_fip row). `--stack` selects one registered stack by
@@ -21,6 +23,13 @@
 //! failed through the compiled query engine and prints one witnessing
 //! `(run, time)` counterexample per violated EBA property, with the
 //! run's failure-pattern footprint and initial preferences.
+//! `--corpus <dir>` loads every `.eba` scenario file in the directory and
+//! prints the per-scenario battery (load errors carry `file:line`).
+//! `--fuzz` runs the coverage-guided adversary fuzzer on the selected
+//! stack (`--fuzz-seed`/`--fuzz-iters` control the deterministic search,
+//! default seed `0xEBA`, 2000 mutants), seeding from matching `--corpus`
+//! scenarios when given, and writes the shrunk, oracle-confirmed `.eba`
+//! repro to `--fuzz-out`.
 
 use eba_experiments as ex;
 
@@ -60,6 +69,62 @@ fn main() {
     let model = flag_value(&args, "--model");
     let bench_json = flag_value(&args, "--bench-json");
     let explain = args.iter().any(|a| a == "--explain");
+    let corpus = flag_value(&args, "--corpus");
+    let fuzz = args.iter().any(|a| a == "--fuzz");
+
+    if fuzz {
+        let Some(stack) = stack else {
+            eprintln!("error: --fuzz requires --stack");
+            std::process::exit(2);
+        };
+        let qualified = match &model {
+            Some(model) if stack.contains('@') => {
+                eprintln!(
+                    "error: --stack {stack} is already model-qualified; \
+                     drop --model {model} or the @qualifier"
+                );
+                std::process::exit(2);
+            }
+            Some(model) => format!("{stack}@{model}"),
+            None => stack,
+        };
+        let parse_num = |flag: &str, default: u64| {
+            flag_value(&args, flag).map_or(default, |v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: {flag} expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let config = ex::fuzz_cli::FuzzCliConfig {
+            stack: qualified,
+            n: parse_num("--n", 3) as usize,
+            t: parse_num("--t", 1) as usize,
+            seed: parse_num("--fuzz-seed", 0xEBA),
+            iterations: parse_num("--fuzz-iters", 2000) as usize,
+            corpus: corpus.map(std::path::PathBuf::from),
+            out: flag_value(&args, "--fuzz-out").map(std::path::PathBuf::from),
+        };
+        match ex::fuzz_cli::run(&config) {
+            Ok(report) => println!("{}", report.text),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    if let Some(dir) = corpus {
+        match ex::corpus::run(std::path::Path::new(&dir)) {
+            Ok((_, table)) => println!("{table}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if bench_json.is_some() && (model.is_none() || stack.is_some()) {
         eprintln!("error: --bench-json requires battery mode (--model without --stack)");
         std::process::exit(2);

@@ -1,0 +1,585 @@
+//! Coverage-guided adversary fuzzing with greedy counterexample shrinking.
+//!
+//! The fuzzer explores the space of admissible adversaries of one scenario:
+//! starting from seed cases it mutates failure patterns and initial
+//! preferences under the scenario's [`FailureModel`], keeps mutants with a
+//! *novel* coverage signature (nonfaulty footprint plus decision vector,
+//! decision rounds, and verdict), and stops at the first spec violation. The violating case is then minimized by
+//! [`shrink_case`] — greedily dropping whole rounds of omissions,
+//! shrinking drop sets, lowering the horizon, and canonicalizing initial
+//! preferences toward zero — re-checking every candidate through the
+//! supplied [`CaseOracle`] and accepting it only if the *same kind* of
+//! violation persists.
+//!
+//! The oracle is pluggable so the search can run against the lockstep
+//! simulator ([`TraceOracle`]) while final witnesses are confirmed by an
+//! independent checker (the epistemic query engine plus `eval_recursive`,
+//! wired up in `eba-experiments`).
+
+use std::collections::HashSet;
+
+use eba_core::context::Context;
+use eba_core::exchange::InformationExchange;
+use eba_core::failures::{FailureModel, FailurePattern};
+use eba_core::protocols::ActionProtocol;
+use eba_core::types::{Action, AgentId, EbaError, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scenario::Scenario;
+use crate::spec::{check_eba, SpecViolation};
+
+/// One adversary under test: a failure pattern, initial preferences, and
+/// a horizon. The stack it runs on is fixed by the [`CaseOracle`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The failure pattern (carries its governing model).
+    pub pattern: FailurePattern,
+    /// Initial preferences, one per agent.
+    pub inits: Vec<Value>,
+    /// The run horizon (rounds).
+    pub horizon: u32,
+}
+
+impl FuzzCase {
+    /// The case's size in shrink order: recorded drops, then horizon,
+    /// then the number of `1` initial preferences. Shrinking only moves
+    /// strictly downward in the lexicographic order on this triple.
+    pub fn size(&self) -> (usize, u32, usize) {
+        (
+            self.pattern.count_drops(),
+            self.horizon,
+            self.inits.iter().filter(|v| **v == Value::One).count(),
+        )
+    }
+
+    /// The recorded drops as sorted `(round, from, to)` triples.
+    pub fn drops(&self) -> Vec<(u32, AgentId, AgentId)> {
+        let params = self.pattern.params();
+        let mut out = Vec::new();
+        for m in 0..self.pattern.drop_horizon() {
+            for from in params.agents() {
+                for to in params.agents() {
+                    if !self.pattern.delivers(m, from, to) {
+                        out.push((m, from, to));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A spec violation as reported by an oracle: the clause kind (one of
+/// `agreement`, `validity`, `termination`, `unique_decision`,
+/// `decision_bound`) and a human-readable detail line.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Violation {
+    /// The violated clause, as a stable lowercase identifier.
+    pub kind: String,
+    /// What exactly went wrong.
+    pub detail: String,
+}
+
+/// The observable outcome of one case, as reported by an oracle: the
+/// coverage signature (decisions and decision rounds at the horizon) plus
+/// the first spec violation, if any.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// Each agent's decided value at the horizon (`None` = undecided).
+    pub decisions: Vec<Option<Value>>,
+    /// Each agent's decision round (1-based; `None` = undecided).
+    pub rounds: Vec<Option<u32>>,
+    /// The first violated EBA clause, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Evaluates one [`FuzzCase`] on a fixed stack.
+pub trait CaseOracle {
+    /// Runs the case and reports its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbaError`] if the case cannot be executed at all (an
+    /// inadmissible pattern slipping past the fuzzer's own validation).
+    fn check(&mut self, case: &FuzzCase) -> Result<CaseOutcome, EbaError>;
+}
+
+/// The simulator-backed oracle: runs the case through the lockstep
+/// [`Scenario`] runner and checks the trace with [`check_eba`].
+pub struct TraceOracle<'c, E, P> {
+    ctx: &'c Context<E, P>,
+}
+
+impl<'c, E, P> TraceOracle<'c, E, P>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    /// Wraps a context; cases are run with the pattern's own model
+    /// overriding the context's.
+    pub fn new(ctx: &'c Context<E, P>) -> Self {
+        TraceOracle { ctx }
+    }
+}
+
+/// The stable identifier of a [`SpecViolation`] clause.
+pub fn violation_kind(v: &SpecViolation) -> &'static str {
+    match v {
+        SpecViolation::UniqueDecision { .. } => "unique_decision",
+        SpecViolation::Agreement { .. } => "agreement",
+        SpecViolation::Validity { .. } => "validity",
+        SpecViolation::Termination { .. } => "termination",
+        SpecViolation::DecisionBound { .. } => "decision_bound",
+    }
+}
+
+impl<E, P> CaseOracle for TraceOracle<'_, E, P>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    fn check(&mut self, case: &FuzzCase) -> Result<CaseOutcome, EbaError> {
+        let trace = Scenario::of(self.ctx)
+            .model(case.pattern.model())
+            .pattern(case.pattern.clone())
+            .inits(&case.inits)
+            .horizon(case.horizon)
+            .run()?;
+        let n = case.pattern.params().n();
+        let mut decisions = vec![None; n];
+        for acts in &trace.actions {
+            for (i, act) in acts.iter().enumerate() {
+                if let Action::Decide(v) = act {
+                    if decisions[i].is_none() {
+                        decisions[i] = Some(*v);
+                    }
+                }
+            }
+        }
+        let violation = check_eba(self.ctx.exchange(), &trace)
+            .err()
+            .map(|v| Violation {
+                kind: violation_kind(&v).to_string(),
+                detail: v.to_string(),
+            });
+        Ok(CaseOutcome {
+            decisions,
+            rounds: trace.metrics.decision_rounds.clone(),
+            violation,
+        })
+    }
+}
+
+/// Fuzzing-loop configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// RNG seed; the whole search is deterministic in it.
+    pub seed: u64,
+    /// Maximum number of mutants to evaluate.
+    pub iterations: usize,
+}
+
+/// A found, shrunk violation.
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// The violated clause (of the shrunk case).
+    pub violation: Violation,
+    /// The first violating sample, as drawn.
+    pub first: FuzzCase,
+    /// The greedily minimized case (same violation kind).
+    pub shrunk: FuzzCase,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: usize,
+}
+
+/// What a fuzzing run did.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Cases evaluated (seeds plus mutants).
+    pub cases_run: usize,
+    /// Distinct coverage signatures observed.
+    pub coverage: usize,
+    /// Size of the final seed pool.
+    pub pool: usize,
+    /// The first violation found (search stops there), shrunk.
+    pub found: Option<FoundViolation>,
+}
+
+type Signature = (
+    u128,
+    Vec<Option<Value>>,
+    Vec<Option<u32>>,
+    Option<Violation>,
+);
+
+/// The coverage signature of an evaluated case: the adversary's nonfaulty
+/// footprint plus the observable outcome. The footprint matters: swapping
+/// the nonfaulty set is behaviorally invisible until drops are layered on
+/// top, so a purely behavioral signature would discard exactly the
+/// stepping-stone cases the search needs to keep.
+fn signature(case: &FuzzCase, outcome: &CaseOutcome) -> Signature {
+    (
+        case.pattern.nonfaulty().bits(),
+        outcome.decisions.clone(),
+        outcome.rounds.clone(),
+        outcome.violation.clone(),
+    )
+}
+
+/// Checks that a case is admissible: its pattern against its own model up
+/// to the case's horizon.
+fn admissible(case: &FuzzCase) -> bool {
+    case.pattern
+        .model()
+        .admits_pattern_up_to(&case.pattern, case.horizon)
+        .is_ok()
+}
+
+/// Rebuilds a pattern from parts, silently skipping drops the model
+/// rejects (used when the nonfaulty set changes under a mutation).
+fn rebuild_pattern(
+    model: FailureModel,
+    template: &FuzzCase,
+    nonfaulty: eba_core::types::AgentSet,
+    drops: &[(u32, AgentId, AgentId)],
+) -> Result<FailurePattern, EbaError> {
+    let mut pattern = FailurePattern::new_in(model, template.pattern.params(), nonfaulty)?;
+    for &(m, from, to) in drops {
+        let _ = pattern.drop_message(m, from, to);
+    }
+    Ok(pattern)
+}
+
+/// Applies one random mutation; returns `None` when the drawn mutation is
+/// a no-op or inadmissible (the caller retries).
+fn mutate(case: &FuzzCase, rng: &mut StdRng) -> Option<FuzzCase> {
+    let model = case.pattern.model();
+    let params = case.pattern.params();
+    let n = params.n();
+    let mut next = case.clone();
+    match rng.random_range(0..5u32) {
+        // Flip one initial preference.
+        0 => {
+            let i = rng.random_range(0..n);
+            next.inits[i] = if next.inits[i] == Value::One {
+                Value::Zero
+            } else {
+                Value::One
+            };
+        }
+        // Add one admissible drop.
+        1 => {
+            let m = rng.random_range(0..case.horizon);
+            let from = AgentId::new(rng.random_range(0..n));
+            let to = AgentId::new(rng.random_range(0..n));
+            next.pattern.drop_message(m, from, to).ok()?;
+        }
+        // Remove one recorded drop.
+        2 => {
+            let drops = case.drops();
+            if drops.is_empty() {
+                return None;
+            }
+            let victim = drops[rng.random_range(0..drops.len())];
+            let kept: Vec<_> = drops.into_iter().filter(|d| *d != victim).collect();
+            next.pattern = rebuild_pattern(model, case, case.pattern.nonfaulty(), &kept).ok()?;
+        }
+        // Silence one faulty agent for one round.
+        3 => {
+            let faulty: Vec<AgentId> = params
+                .agents()
+                .filter(|a| case.pattern.is_faulty(*a))
+                .collect();
+            if faulty.is_empty() {
+                return None;
+            }
+            let from = faulty[rng.random_range(0..faulty.len())];
+            let m = rng.random_range(0..case.horizon);
+            next.pattern.silence_agent(from, m..m + 1, false).ok()?;
+        }
+        // Swap the nonfaulty set for another the model admits, keeping
+        // whichever drops remain admissible.
+        _ => {
+            let choices = model.nonfaulty_choices(params);
+            if choices.is_empty() {
+                return None;
+            }
+            let nonfaulty = choices[rng.random_range(0..choices.len())];
+            next.pattern = rebuild_pattern(model, case, nonfaulty, &case.drops()).ok()?;
+        }
+    }
+    if next == *case || !admissible(&next) {
+        return None;
+    }
+    Some(next)
+}
+
+/// Runs the coverage-guided search: evaluates every seed, then up to
+/// `config.iterations` mutants of pool members, growing the pool on novel
+/// signatures. Stops at the first violation and shrinks it.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] when `seeds` is empty, or any error
+/// the oracle reports while executing a case.
+pub fn fuzz<O: CaseOracle>(
+    seeds: &[FuzzCase],
+    config: &FuzzConfig,
+    oracle: &mut O,
+) -> Result<FuzzReport, EbaError> {
+    if seeds.is_empty() {
+        return Err(EbaError::InvalidInput(
+            "fuzzing needs at least one seed case".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut seen: HashSet<Signature> = HashSet::new();
+    let mut pool: Vec<FuzzCase> = Vec::new();
+    let mut cases_run = 0usize;
+
+    let evaluate = |case: FuzzCase,
+                    oracle: &mut O,
+                    seen: &mut HashSet<Signature>,
+                    pool: &mut Vec<FuzzCase>,
+                    cases_run: &mut usize|
+     -> Result<Option<(FuzzCase, Violation)>, EbaError> {
+        let outcome = oracle.check(&case)?;
+        *cases_run += 1;
+        if let Some(v) = outcome.violation.clone() {
+            return Ok(Some((case, v)));
+        }
+        if seen.insert(signature(&case, &outcome)) {
+            pool.push(case);
+        }
+        Ok(None)
+    };
+
+    let mut hit: Option<(FuzzCase, Violation)> = None;
+    for seed in seeds {
+        if !admissible(seed) {
+            return Err(EbaError::InvalidPattern(
+                "a fuzz seed is inadmissible under its own model and horizon".into(),
+            ));
+        }
+        if let Some(found) = evaluate(seed.clone(), oracle, &mut seen, &mut pool, &mut cases_run)? {
+            hit = Some(found);
+            break;
+        }
+    }
+    if hit.is_none() && pool.is_empty() {
+        // Every seed produced the same signature; keep at least one.
+        pool.push(seeds[0].clone());
+    }
+    if hit.is_none() {
+        for _ in 0..config.iterations {
+            let base = &pool[rng.random_range(0..pool.len())];
+            let Some(mutant) = mutate(base, &mut rng) else {
+                continue;
+            };
+            if let Some(found) = evaluate(mutant, oracle, &mut seen, &mut pool, &mut cases_run)? {
+                hit = Some(found);
+                break;
+            }
+        }
+    }
+
+    let found = match hit {
+        None => None,
+        Some((first, violation)) => {
+            let (shrunk, shrink_steps) = shrink_case(&first, &violation.kind, oracle)?;
+            let final_violation = oracle.check(&shrunk)?.violation.unwrap_or(violation);
+            Some(FoundViolation {
+                violation: final_violation,
+                first,
+                shrunk,
+                shrink_steps,
+            })
+        }
+    };
+    Ok(FuzzReport {
+        cases_run,
+        coverage: seen.len(),
+        pool: pool.len(),
+        found,
+    })
+}
+
+/// Proposes strictly smaller candidates for a violating case, most
+/// aggressive first: drop whole rounds of omissions, drop single
+/// omissions, lower the horizon (truncating drops past it), and flip `1`
+/// initial preferences to `0`.
+pub fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let model = case.pattern.model();
+    let nonfaulty = case.pattern.nonfaulty();
+    let drops = case.drops();
+    let mut out = Vec::new();
+
+    // 1. Remove every drop in one round.
+    let mut rounds: Vec<u32> = drops.iter().map(|d| d.0).collect();
+    rounds.sort_unstable();
+    rounds.dedup();
+    for round in &rounds {
+        let kept: Vec<_> = drops.iter().filter(|d| d.0 != *round).copied().collect();
+        if let Ok(pattern) = rebuild_pattern(model, case, nonfaulty, &kept) {
+            out.push(FuzzCase {
+                pattern,
+                ..case.clone()
+            });
+        }
+    }
+    // 2. Remove one drop.
+    if rounds.len() > 1 || drops.len() > 1 {
+        for victim in &drops {
+            let kept: Vec<_> = drops.iter().filter(|d| *d != victim).copied().collect();
+            if let Ok(pattern) = rebuild_pattern(model, case, nonfaulty, &kept) {
+                out.push(FuzzCase {
+                    pattern,
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    // 3. Lower the horizon, truncating drops past it.
+    if case.horizon > 1 {
+        let horizon = case.horizon - 1;
+        let kept: Vec<_> = drops.iter().filter(|d| d.0 < horizon).copied().collect();
+        if let Ok(pattern) = rebuild_pattern(model, case, nonfaulty, &kept) {
+            out.push(FuzzCase {
+                pattern,
+                inits: case.inits.clone(),
+                horizon,
+            });
+        }
+    }
+    // 4. Canonicalize initial preferences toward zero.
+    for (i, v) in case.inits.iter().enumerate() {
+        if *v == Value::One {
+            let mut inits = case.inits.clone();
+            inits[i] = Value::Zero;
+            out.push(FuzzCase {
+                pattern: case.pattern.clone(),
+                inits,
+                horizon: case.horizon,
+            });
+        }
+    }
+    out.retain(admissible);
+    out
+}
+
+/// Greedily minimizes a violating case: repeatedly adopts the first
+/// [`shrink_candidates`] entry on which the oracle still reports a
+/// violation of the same `kind`, until no candidate is accepted.
+///
+/// # Errors
+///
+/// Propagates oracle execution errors.
+pub fn shrink_case<O: CaseOracle>(
+    case: &FuzzCase,
+    kind: &str,
+    oracle: &mut O,
+) -> Result<(FuzzCase, usize), EbaError> {
+    let mut current = case.clone();
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in shrink_candidates(&current) {
+            debug_assert!(cand.size() < current.size());
+            let outcome = oracle.check(&cand)?;
+            if outcome.violation.as_ref().is_some_and(|v| v.kind == kind) {
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        return Ok((current, steps));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_core::prelude::*;
+
+    fn whisper_case(params: Params) -> FuzzCase {
+        // Faulty agent 0 stays silent except its round-2 message to agent
+        // 2: the E_naive Agreement counterexample from the introduction.
+        let nonfaulty = AgentSet::singleton(AgentId::new(0)).complement(3);
+        let mut pattern =
+            FailurePattern::new_in(FailureModel::GeneralOmission, params, nonfaulty).unwrap();
+        pattern.silence_agent(AgentId::new(0), 0..1, false).unwrap();
+        pattern
+            .drop_message(1, AgentId::new(0), AgentId::new(1))
+            .unwrap();
+        pattern.silence_agent(AgentId::new(0), 2..4, false).unwrap();
+        FuzzCase {
+            pattern,
+            inits: vec![Value::Zero, Value::One, Value::One],
+            horizon: 4,
+        }
+    }
+
+    #[test]
+    fn trace_oracle_reports_the_known_agreement_violation() {
+        let params = Params::new(3, 1).unwrap();
+        let ctx = Context::naive(params).with_model(FailureModel::GeneralOmission);
+        let mut oracle = TraceOracle::new(&ctx);
+        let case = whisper_case(params);
+        let outcome = oracle.check(&case).unwrap();
+        assert_eq!(
+            outcome.violation.as_ref().map(|v| v.kind.as_str()),
+            Some("agreement"),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn shrinking_reaches_a_fixpoint_and_preserves_the_violation() {
+        let params = Params::new(3, 1).unwrap();
+        let ctx = Context::naive(params).with_model(FailureModel::GeneralOmission);
+        let mut oracle = TraceOracle::new(&ctx);
+        let case = whisper_case(params);
+        let (shrunk, steps) = shrink_case(&case, "agreement", &mut oracle).unwrap();
+        assert!(steps > 0, "the whisper case is not minimal");
+        assert!(shrunk.size() < case.size());
+        let outcome = oracle.check(&shrunk).unwrap();
+        assert_eq!(
+            outcome.violation.as_ref().map(|v| v.kind.as_str()),
+            Some("agreement")
+        );
+        // One more pass accepts nothing.
+        let (again, more) = shrink_case(&shrunk, "agreement", &mut oracle).unwrap();
+        assert_eq!(more, 0);
+        assert_eq!(again, shrunk);
+    }
+
+    #[test]
+    fn fuzz_is_deterministic_in_the_seed() {
+        let params = Params::new(3, 1).unwrap();
+        let ctx = Context::naive(params).with_model(FailureModel::GeneralOmission);
+        let seed = FuzzCase {
+            pattern: FailurePattern::new_in(
+                FailureModel::GeneralOmission,
+                params,
+                AgentSet::full(3),
+            )
+            .unwrap(),
+            inits: vec![Value::Zero, Value::One, Value::One],
+            horizon: 4,
+        };
+        let config = FuzzConfig {
+            seed: 7,
+            iterations: 400,
+        };
+        let mut o1 = TraceOracle::new(&ctx);
+        let r1 = fuzz(std::slice::from_ref(&seed), &config, &mut o1).unwrap();
+        let mut o2 = TraceOracle::new(&ctx);
+        let r2 = fuzz(std::slice::from_ref(&seed), &config, &mut o2).unwrap();
+        assert_eq!(r1.cases_run, r2.cases_run);
+        assert_eq!(r1.coverage, r2.coverage);
+        assert_eq!(
+            r1.found.as_ref().map(|f| f.shrunk.clone()),
+            r2.found.as_ref().map(|f| f.shrunk.clone())
+        );
+    }
+}

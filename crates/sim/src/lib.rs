@@ -49,6 +49,7 @@
 pub mod chains;
 pub mod dominance;
 pub mod enumerate;
+pub mod fuzz;
 pub mod metrics;
 pub mod render;
 pub mod runner;
@@ -65,6 +66,10 @@ pub mod prelude {
     pub use crate::enumerate::{
         enumerate_into, enumerate_model_into, enumerate_parallel, enumerate_runs, enumerate_with,
         EnumRun,
+    };
+    pub use crate::fuzz::{
+        fuzz, shrink_candidates, shrink_case, violation_kind, CaseOracle, CaseOutcome, FuzzCase,
+        FuzzConfig, FuzzReport, TraceOracle, Violation,
     };
     pub use crate::metrics::Metrics;
     pub use crate::render::{render_round_deliveries, render_timeline};

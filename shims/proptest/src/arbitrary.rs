@@ -5,13 +5,34 @@ use std::marker::PhantomData;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::strategy::Strategy;
+use crate::strategy::{shrink_toward, Strategy};
 
 /// Types with a canonical full-range strategy.
 pub trait Arbitrary: Sized {
     /// Draws one uniform value over the type's whole domain.
     fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Proposes simpler candidates for a failing value (integers toward
+    /// zero); the default proposes nothing.
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<$t>()
+            }
+            fn shrink(value: &Self) -> Vec<Self> {
+                shrink_toward!(*value, 0)
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
 
 macro_rules! impl_arbitrary_int {
     ($($t:ty),*) => {$(
@@ -19,10 +40,40 @@ macro_rules! impl_arbitrary_int {
             fn arbitrary(rng: &mut StdRng) -> Self {
                 rng.random::<$t>()
             }
+            fn shrink(value: &Self) -> Vec<Self> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let mid = v / 2;
+                    if mid != 0 && mid != v {
+                        out.push(mid);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != mid {
+                        out.push(step);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
-impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random::<bool>()
+    }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut StdRng) -> Self {
@@ -38,6 +89,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn sample_value(&self, rng: &mut StdRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 

@@ -13,12 +13,45 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let len = rng.random_range(self.size.clone());
         (0..len).map(|_| self.element.sample_value(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.start;
+        let mut out = Vec::new();
+        // Length shrinks first (toward the minimum allowed length), most
+        // aggressive first: truncate to min, halve, drop one element.
+        if value.len() > min {
+            out.push(value[..min].to_vec());
+            let half = min.max(value.len() / 2);
+            if half != min && half != value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..value.len()).rev() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                if shorter.len() >= min && shorter.len() != min && shorter.len() != half {
+                    out.push(shorter);
+                }
+            }
+        }
+        // Then element-wise shrinks at the current length.
+        for (i, element) in value.iter().enumerate() {
+            for cand in self.element.shrink(element) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

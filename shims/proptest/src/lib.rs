@@ -10,8 +10,13 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **no shrinking** — a failing case reports its sampled inputs but does
-//!   not minimize them;
+//! * **minimal shrinking** — on failure the harness greedily minimizes the
+//!   inputs by walking [`strategy::Strategy::shrink`] candidates (integers
+//!   toward the range start, collections toward empty, tuples
+//!   component-wise) and reports the shrunk inputs plus the number of
+//!   accepted shrink steps. There is no full shrink tree: `prop_map`ped
+//!   strategies do not shrink (the mapping is not invertible), and every
+//!   argument's value type must be `Clone` so candidates can be re-run;
 //! * **deterministic seeding** — case `k` of every test draws from a fixed
 //!   seed mixed with `k`, so failures reproduce exactly across runs and
 //!   machines (real proptest defaults to OS entropy plus a regression
@@ -114,15 +119,16 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let run_case = $crate::strategy::typed_runner(&strategy, |($($arg,)+)| {
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
             for case in 0..config.cases {
                 let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
-                $(let $arg = $crate::strategy::Strategy::sample_value(&$strat, &mut rng);)+
-                let outcome: $crate::test_runner::TestCaseResult = (|| {
-                    $body
-                    #[allow(unreachable_code)]
-                    ::core::result::Result::Ok(())
-                })();
-                match outcome {
+                let mut values = $crate::strategy::Strategy::sample_value(&strategy, &mut rng);
+                match run_case(values.clone()) {
                     ::core::result::Result::Ok(()) => {}
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Reject(_),
@@ -130,14 +136,36 @@ macro_rules! __proptest_tests {
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Fail(message),
                     ) => {
+                        // Greedy shrink: adopt the first candidate that
+                        // still fails, restart from it, stop at a fixpoint.
+                        let mut message = message;
+                        let mut shrink_steps = 0u32;
+                        'shrinking: while shrink_steps < 10_000 {
+                            let candidates =
+                                $crate::strategy::Strategy::shrink(&strategy, &values);
+                            for cand in candidates {
+                                if let ::core::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Fail(m),
+                                ) = run_case(cand.clone())
+                                {
+                                    values = cand;
+                                    message = m;
+                                    shrink_steps += 1;
+                                    continue 'shrinking;
+                                }
+                            }
+                            break;
+                        }
+                        let ($($arg,)+) = values;
                         ::std::panic!(
                             ::std::concat!(
-                                "proptest case {}/{} failed: {}\n  inputs:",
+                                "proptest case {}/{} failed: {}\n  inputs (after {} shrinks):",
                                 $("\n    ", stringify!($arg), " = {:?}",)+
                             ),
                             case,
                             config.cases,
                             message,
+                            shrink_steps,
                             $($arg,)+
                         );
                     }

@@ -26,6 +26,21 @@ impl<T: Clone> Strategy for Subsequence<T> {
             .map(|i| self.values[i].clone())
             .collect()
     }
+
+    fn shrink(&self, value: &Vec<T>) -> Vec<Vec<T>> {
+        let min = *self.size.start();
+        let mut out = Vec::new();
+        if value.len() > min {
+            // Truncate to the minimum length, then drop single elements.
+            out.push(value[..min].to_vec());
+            for i in (0..value.len().saturating_sub(1)).rev() {
+                let mut shorter = value.to_vec();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        out
+    }
 }
 
 /// Generates subsequences of `values` (order preserved) whose length is

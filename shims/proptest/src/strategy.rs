@@ -1,8 +1,9 @@
 //! Value-generation strategies.
 //!
-//! A [`Strategy`] here is simply a deterministic sampler: given the case's
-//! RNG it produces one value. (Real proptest strategies also carry a shrink
-//! tree; this shim never shrinks.)
+//! A [`Strategy`] here is a deterministic sampler plus a minimal shrinker:
+//! given the case's RNG it produces one value, and given a failing value it
+//! proposes a short list of strictly "smaller" candidates (real proptest
+//! carries a full shrink tree; this shim does greedy candidate descent).
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -15,6 +16,17 @@ pub trait Strategy {
     /// Draws one value.
     fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
 
+    /// Proposes simpler candidates for a failing `value`, most aggressive
+    /// first (integers toward the range start, collections toward empty).
+    ///
+    /// The default is no candidates, which disables shrinking for the
+    /// strategy; [`Map`] in particular cannot shrink because the mapping is
+    /// not invertible.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -25,7 +37,22 @@ pub trait Strategy {
     }
 }
 
+/// Pins a case-runner closure's parameter type to `S::Value` so the
+/// `proptest!` macro's tuple-destructuring closure type-checks against the
+/// concrete sampled types (an implementation detail of the macro).
+#[doc(hidden)]
+pub fn typed_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value) -> crate::test_runner::TestCaseResult,
+{
+    run
+}
+
 /// Strategy returned by [`Strategy::prop_map`].
+///
+/// `Map` never shrinks: the inner value that produced a failing output is
+/// not recoverable through an arbitrary closure.
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -55,6 +82,30 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Candidates between `start` and a failing unsigned value: the range
+/// start, the midpoint, and the predecessor, deduplicated and ordered most
+/// aggressive first.
+macro_rules! shrink_toward {
+    ($v:expr, $start:expr) => {{
+        let v = $v;
+        let start = $start;
+        let mut out = Vec::new();
+        if v > start {
+            out.push(start);
+            let mid = start + (v - start) / 2;
+            if mid != start && mid != v {
+                out.push(mid);
+            }
+            let prev = v - 1;
+            if prev != start && prev != mid {
+                out.push(prev);
+            }
+        }
+        out
+    }};
+}
+pub(crate) use shrink_toward;
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -62,11 +113,17 @@ macro_rules! impl_range_strategy {
             fn sample_value(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward!(*value, self.start)
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn sample_value(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward!(*value, *self.start())
             }
         }
     )*};
@@ -79,25 +136,49 @@ impl Strategy for core::ops::Range<f64> {
     fn sample_value(&self, rng: &mut StdRng) -> f64 {
         rng.random_range(self.clone())
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                ($($name.sample_value(rng),)+)
+                ($(self.$idx.sample_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut tuple = value.clone();
+                        tuple.$idx = cand;
+                        out.push(tuple);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 impl_tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }

@@ -1,0 +1,27 @@
+//! The failure path minimizes inputs: a property that fails for `x >= 10`
+//! and `v.len() >= 2` must shrink to exactly `x = 10`, `v = [0, 0]`
+//! regardless of the sampled starting point.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    #[should_panic(expected = "x = 10")]
+    fn failing_property_reports_minimal_inputs(
+        x in 0u64..100_000,
+        v in proptest::collection::vec(0u32..100, 2..9),
+    ) {
+        prop_assert!(x < 10 || v.len() < 2, "boom");
+    }
+
+    #[test]
+    #[should_panic(expected = "v = [0, 0]")]
+    fn failing_collection_shrinks_toward_empty(
+        x in 0u64..100_000,
+        v in proptest::collection::vec(0u32..100, 2..9),
+    ) {
+        prop_assert!(x < 10 || v.len() < 2, "boom");
+    }
+}

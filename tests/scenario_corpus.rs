@@ -1,0 +1,222 @@
+//! The `.eba` scenario format round-trips: for every registered stack and
+//! every failure model, a randomly generated admissible scenario prints to
+//! a canonical text that re-parses to the identical [`ScenarioSpec`] — and
+//! malformed fixtures are rejected with the offending field and 1-based
+//! line named.
+
+use eba::core::corpus::ParseError;
+use eba::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random admissible scenario of the given stack/model shape: nonfaulty
+/// set drawn from the model's admissible choices, drops generated under
+/// the model's own discipline (crash = suffix silence, omissions = random
+/// admissible single drops).
+fn random_spec(stack: &str, model: FailureModel, n: usize, seed: u64) -> ScenarioSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = 1 + rng.random_range(0..((n - 1) / 2).max(1)) % ((n - 1) / 2).max(1);
+    let params = Params::new(n, t).unwrap();
+    let horizon = params.default_horizon();
+
+    let choices = model.nonfaulty_choices(params);
+    let nonfaulty = choices[rng.random_range(0..choices.len())];
+    let mut pattern = FailurePattern::new_in(model, params, nonfaulty).unwrap();
+    match model {
+        FailureModel::FailureFree => {}
+        FailureModel::Crash => {
+            // Crash discipline: each faulty agent goes (and stays) silent
+            // from some round on, self-messages included.
+            let faulty: Vec<AgentId> = params.agents().filter(|a| pattern.is_faulty(*a)).collect();
+            for a in faulty {
+                let crash_round = rng.random_range(0..=horizon);
+                pattern
+                    .silence_agent(a, crash_round..horizon, true)
+                    .unwrap();
+            }
+        }
+        FailureModel::SendingOmission | FailureModel::GeneralOmission => {
+            // Random single drops; `drop_message` rejects the ones the
+            // model does not admit.
+            for _ in 0..rng.random_range(0..8usize) {
+                let m = rng.random_range(0..horizon);
+                let from = AgentId::new(rng.random_range(0..n));
+                let to = AgentId::new(rng.random_range(0..n));
+                let _ = pattern.drop_message(m, from, to);
+            }
+        }
+    }
+
+    let inits: Vec<Value> = (0..n)
+        .map(|_| {
+            if rng.random_range(0..2u32) == 0 {
+                Value::Zero
+            } else {
+                Value::One
+            }
+        })
+        .collect();
+    let limit = if seed.is_multiple_of(2) {
+        Some(100_000)
+    } else {
+        None
+    };
+    ScenarioSpec::from_pattern(stack, model, &pattern, &inits, horizon, limit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse ≡ id over every stack × model, and printing is
+    /// idempotent (the canonical form re-prints to itself).
+    #[test]
+    fn printed_scenarios_reparse_identically(
+        stack_idx in 0usize..4,
+        model_idx in 0usize..4,
+        n in 3usize..6,
+        seed in any::<u64>(),
+    ) {
+        let stack = STACK_NAMES[stack_idx];
+        let model = FailureModel::by_name(MODEL_NAMES[model_idx]).unwrap();
+        let spec = random_spec(stack, model, n, seed);
+        prop_assert!(spec.validate().is_ok(), "generated spec must be admissible");
+
+        let printed = spec.print();
+        let parsed = parse_scenario(&printed)
+            .unwrap_or_else(|e| panic!("canonical text must re-parse: {e}\n{printed}"));
+        prop_assert_eq!(&parsed.spec, &spec);
+        prop_assert_eq!(parsed.spec.print(), printed);
+        // The qualified name resolves in the registry.
+        prop_assert!(parsed.spec.to_stack().is_ok());
+    }
+}
+
+/// A minimal valid scenario text the malformed fixtures are derived from.
+const VALID: &str = "stack = E_basic/P_basic\n\
+                     model = general_omission\n\
+                     n = 4\n\
+                     t = 1\n\
+                     inits = 0 1 1 0\n\
+                     nonfaulty = 0 1 2\n\
+                     drop = round 0 from 3 to 0 1\n";
+
+fn reject(text: &str) -> ParseError {
+    parse_scenario(text).expect_err("fixture must be rejected")
+}
+
+#[test]
+fn the_valid_fixture_parses() {
+    let parsed = parse_scenario(VALID).unwrap();
+    assert_eq!(
+        parsed.spec.qualified_stack(),
+        "E_basic/P_basic@general_omission"
+    );
+    assert_eq!(parsed.spec.drops.len(), 2);
+    assert!(parsed.spec.validate().is_ok());
+}
+
+#[test]
+fn unknown_stacks_are_rejected_naming_the_field() {
+    let e = reject(&VALID.replace("E_basic/P_basic", "E_bogus/P_bogus"));
+    assert_eq!((e.field, e.line), ("stack", 1), "{e}");
+    assert!(e.message.contains("E_bogus"), "{e}");
+}
+
+#[test]
+fn qualified_stack_names_are_rejected() {
+    let e = reject(&VALID.replace("E_basic/P_basic", "E_basic/P_basic@crash"));
+    assert_eq!((e.field, e.line), ("stack", 1), "{e}");
+    assert!(e.message.contains("no `@` qualifier"), "{e}");
+}
+
+#[test]
+fn unknown_models_are_rejected_naming_the_field() {
+    let e = reject(&VALID.replace("general_omission", "byzantine"));
+    assert_eq!((e.field, e.line), ("model", 2), "{e}");
+}
+
+#[test]
+fn non_bit_inits_are_rejected_naming_the_field() {
+    let e = reject(&VALID.replace("inits = 0 1 1 0", "inits = 0 2 1 0"));
+    assert_eq!((e.field, e.line), ("inits", 5), "{e}");
+    assert!(e.message.contains("\"2\""), "{e}");
+}
+
+#[test]
+fn out_of_range_agents_are_rejected_naming_the_field() {
+    let e = reject(&VALID.replace("nonfaulty = 0 1 2", "nonfaulty = 0 1 9"));
+    assert_eq!((e.field, e.line), ("nonfaulty", 6), "{e}");
+    let e = reject(&VALID.replace("from 3 to 0 1", "from 9 to 0 1"));
+    assert_eq!((e.field, e.line), ("drop", 7), "{e}");
+}
+
+#[test]
+fn malformed_drop_grammar_is_rejected_naming_the_field() {
+    let e = reject(&VALID.replace("round 0 from 3 to 0 1", "0 -> 3"));
+    assert_eq!((e.field, e.line), ("drop", 7), "{e}");
+    assert!(e.message.contains("round <m> from <i> to <j>"), "{e}");
+}
+
+#[test]
+fn duplicate_keys_are_rejected() {
+    let e = reject(&format!("{VALID}n = 5\n"));
+    assert_eq!((e.field, e.line), ("n", 8), "{e}");
+    assert!(e.message.contains("duplicate"), "{e}");
+}
+
+#[test]
+fn missing_required_keys_are_rejected() {
+    for (key, field) in [
+        ("stack = E_basic/P_basic\n", "stack"),
+        ("model = general_omission\n", "model"),
+        ("n = 4\n", "n"),
+        ("t = 1\n", "t"),
+        ("inits = 0 1 1 0\n", "inits"),
+    ] {
+        let e = reject(&VALID.replace(key, ""));
+        assert_eq!(e.field, field, "{e}");
+        assert_eq!(e.line, 0, "whole-file problems carry no line: {e}");
+    }
+}
+
+#[test]
+fn unknown_keys_and_non_assignments_are_rejected() {
+    let e = reject(&format!("{VALID}speed = 11\n"));
+    assert_eq!((e.field, e.line), ("line", 8), "{e}");
+    let e = reject("stack E_basic/P_basic\n");
+    assert_eq!((e.field, e.line), ("line", 1), "{e}");
+}
+
+#[test]
+fn parse_errors_render_field_and_line() {
+    let e = reject(&VALID.replace("inits = 0 1 1 0", "inits = 0 2 1 0"));
+    let rendered = e.to_string();
+    assert!(rendered.contains("line 5"), "{rendered}");
+    assert!(rendered.contains("field `inits`"), "{rendered}");
+}
+
+/// Semantically inadmissible (but syntactically fine) corpus files are
+/// rejected by the loader with `<path>:<line>:` naming the offending
+/// field's source line.
+#[test]
+fn corpus_loader_relocates_semantic_errors_to_file_and_line() {
+    let dir = std::env::temp_dir().join(format!("eba-corpus-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Too many faulty agents for t = 1: shape error on the nonfaulty line.
+    let bad = "stack = E_basic/P_basic\n\
+               model = general_omission\n\
+               n = 4\n\
+               t = 1\n\
+               inits = 0 1 1 0\n\
+               nonfaulty = 0 1\n";
+    let path = dir.join("bad.eba");
+    std::fs::write(&path, bad).unwrap();
+    let err = eba::experiments::corpus::load_dir(&dir).expect_err("inadmissible corpus");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{}:6:", path.display())),
+        "error must carry path and nonfaulty line: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,94 @@
+//! Bench — the async multiplexed consensus service under load.
+//!
+//! Pushes the deterministic seeded session mix (all four stacks crossed
+//! with all four failure models, adversary patterns sampled per session)
+//! through the service, asserts the run is oracle-clean with every
+//! admitted session decided and the table saturated (peak in-flight ==
+//! capacity), writes the measured run as `BENCH_service.json`
+//! (`eba-bench-v1`, next to the model-battery trajectory artifact), and
+//! measures multiplexed-batch throughput.
+//!
+//! Under `--smoke` the mix shrinks so CI still exercises admission,
+//! backpressure, teardown, and the oracle cross-check in milliseconds.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_experiments::service_cli::{self, LoadConfig};
+
+/// Mirrors the criterion shim's `--smoke` detection (private there).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+fn bench_service_load(c: &mut Criterion) {
+    // The measured run: saturate a big table (smoke: a small one) so
+    // peak in-flight provably reaches the configured concurrency level.
+    let config = if smoke_mode() {
+        LoadConfig {
+            sessions: 128,
+            capacity: 32,
+            oracle_stride: 8,
+            ..LoadConfig::default()
+        }
+    } else {
+        LoadConfig {
+            sessions: 2048,
+            capacity: 1024,
+            ..LoadConfig::default()
+        }
+    };
+    let (summary, table) =
+        service_cli::run_load(&config).expect("the seeded load mix must run clean");
+    println!("\n{table}");
+
+    let report = &summary.report;
+    assert_eq!(report.admitted, config.sessions);
+    assert_eq!(
+        report.decided_sessions(),
+        config.sessions,
+        "every admitted session must decide"
+    );
+    assert_eq!(
+        report.peak_in_flight, config.capacity,
+        "the session table must saturate"
+    );
+    assert!(
+        report.oracle_checked > 0,
+        "the oracle subset must be sampled"
+    );
+    assert_eq!(
+        report.oracle_mismatches, 0,
+        "decisions must match the lockstep oracle"
+    );
+
+    // Persist the measured run next to BENCH_general.json.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    service_cli::write_json(out, &config, &summary).expect("BENCH_service.json must be writable");
+    println!("wrote {out}");
+
+    // Throughput of repeated smaller batches (oracle off: measure the
+    // multiplexed phase, not the lockstep cross-check).
+    let batch = LoadConfig {
+        sessions: if smoke_mode() { 32 } else { 256 },
+        capacity: 64,
+        oracle_stride: 0,
+        ..LoadConfig::default()
+    };
+    let mut group = c.benchmark_group("service_load");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("multiplexed_batch", |b| {
+        b.iter(|| {
+            let (summary, _) = service_cli::run_load(black_box(&batch)).unwrap();
+            assert_eq!(summary.report.decided_sessions(), batch.sessions);
+            black_box(summary.sessions_per_sec)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_load);
+criterion_main!(benches);

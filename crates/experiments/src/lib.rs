@@ -67,6 +67,7 @@ pub mod e9_ck_onset;
 pub mod explain;
 pub mod fuzz_cli;
 pub mod model_battery;
+pub mod service_cli;
 pub mod stack_summary;
 pub mod table;
 

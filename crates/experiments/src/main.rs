@@ -6,6 +6,8 @@
 //!        `cargo run --release -p eba-experiments -- --model <model> [--n N] [--t T] [--bench-json <path>] [--explain]`
 //!        `cargo run --release -p eba-experiments -- --corpus <dir>`
 //!        `cargo run --release -p eba-experiments -- --fuzz --stack <name> [--model <model>] [--n N] [--t T] [--fuzz-seed S] [--fuzz-iters K] [--corpus <dir>] [--fuzz-out <path>]`
+//!        `cargo run --release -p eba-experiments -- --load [--sessions K] [--capacity C] [--workers W] [--seed S] [--n N] [--t T] [--bench-json <path>]`
+//!        `cargo run --release -p eba-experiments -- --serve <dir> [--capacity C] [--workers W]`
 //!
 //! `--quick` shrinks the sweeps and skips the heavyweight full-information
 //! model check (E7's γ_fip row). `--stack` selects one registered stack by
@@ -30,6 +32,13 @@
 //! default seed `0xEBA`, 2000 mutants), seeding from matching `--corpus`
 //! scenarios when given, and writes the shrunk, oracle-confirmed `.eba`
 //! repro to `--fuzz-out`.
+//! `--load` pushes a deterministic seeded session mix (all stacks × all
+//! failure models, default 4096 sessions at capacity 1024) through the
+//! async multiplexed consensus service and prints throughput; with
+//! `--bench-json <path>` it also writes the `eba-bench-v1` service
+//! document (`BENCH_service.json` in CI). `--serve <dir>` runs every
+//! `.eba` scenario in a directory as a concurrent service session with
+//! every decision oracle-checked against the lockstep cluster.
 
 use eba_experiments as ex;
 
@@ -107,6 +116,59 @@ fn main() {
         };
         match ex::fuzz_cli::run(&config) {
             Ok(report) => println!("{}", report.text),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let parse_num = |flag: &str, default: u64| {
+        flag_value(&args, flag).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects an unsigned integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    if args.iter().any(|a| a == "--load") {
+        let defaults = ex::service_cli::LoadConfig::default();
+        let config = ex::service_cli::LoadConfig {
+            sessions: parse_num("--sessions", defaults.sessions as u64) as usize,
+            n: parse_num("--n", defaults.n as u64) as usize,
+            t: parse_num("--t", defaults.t as u64) as usize,
+            seed: parse_num("--seed", defaults.seed),
+            workers: parse_num("--workers", defaults.workers as u64) as usize,
+            capacity: parse_num("--capacity", defaults.capacity as u64) as usize,
+            oracle_stride: parse_num("--oracle-stride", defaults.oracle_stride as u64) as usize,
+            ..defaults
+        };
+        match ex::service_cli::run_load(&config) {
+            Ok((summary, table)) => {
+                println!("{table}");
+                if let Some(path) = bench_json {
+                    if let Err(e) = ex::service_cli::write_json(&path, &config, &summary) {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote service bench record to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    if let Some(dir) = flag_value(&args, "--serve") {
+        let workers = parse_num("--workers", 0) as usize;
+        let capacity = parse_num("--capacity", 1024) as usize;
+        match ex::service_cli::run_serve(std::path::Path::new(&dir), workers, capacity) {
+            Ok((_, table)) => println!("{table}"),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);

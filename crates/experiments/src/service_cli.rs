@@ -1,0 +1,364 @@
+//! `--serve`/`--load`: the consensus service behind the experiments CLI.
+//!
+//! `--serve <dir>` runs every `.eba` scenario in a directory as a
+//! concurrent session on the multiplexed service (the corpus as a
+//! workload instead of a lockstep battery). `--load` generates a
+//! deterministic seeded mix — all four stacks crossed with all four
+//! failure models, adversary patterns sampled per session — and pushes it
+//! through the service at a fixed table capacity, reporting sessions/sec
+//! and decisions/sec. Both modes oracle-confirm a sampled subset of
+//! decision vectors against the lockstep `run_named_cluster` path.
+//!
+//! `--load --bench-json <path>` writes the measurements as an
+//! `eba-bench-v1` JSON document (`BENCH_service.json` in CI), the service
+//! counterpart of the model-battery trajectory artifact.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use eba_core::prelude::*;
+use eba_service::{run_service, ServiceConfig, ServiceReport, SessionSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::load_dir;
+use crate::table::Table;
+
+/// Parameters of a synthetic `--load` run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Total sessions to generate.
+    pub sessions: usize,
+    /// Agents per session.
+    pub n: usize,
+    /// Fault tolerance per session.
+    pub t: usize,
+    /// RNG seed for the adversary/init mix.
+    pub seed: u64,
+    /// Per-message drop probability of the sampled adversaries.
+    pub drop_prob: f64,
+    /// Worker threads (`0` = one per core).
+    pub workers: usize,
+    /// Session-table capacity (the concurrency level).
+    pub capacity: usize,
+    /// Oracle cross-check stride (`0` = no checks, `1` = every session).
+    pub oracle_stride: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 4096,
+            n: 3,
+            t: 1,
+            seed: 0xEBA,
+            drop_prob: 0.25,
+            workers: 0,
+            capacity: 1024,
+            oracle_stride: 17,
+        }
+    }
+}
+
+/// The outcome of a service run plus its derived throughput numbers.
+#[derive(Clone, Debug)]
+pub struct ServiceRunSummary {
+    /// The service's own report.
+    pub report: ServiceReport,
+    /// Completed sessions per second of the multiplexed phase.
+    pub sessions_per_sec: f64,
+    /// Fully-decided sessions per second of the multiplexed phase.
+    pub decisions_per_sec: f64,
+}
+
+impl ServiceRunSummary {
+    fn derive(report: ServiceReport) -> Self {
+        let secs = report.service_seconds.max(f64::EPSILON);
+        let sessions_per_sec = report.outcomes.len() as f64 / secs;
+        let decisions_per_sec = report.decided_sessions() as f64 / secs;
+        ServiceRunSummary {
+            report,
+            sessions_per_sec,
+            decisions_per_sec,
+        }
+    }
+}
+
+/// Generates the deterministic `--load` session mix: stacks and models in
+/// round-robin, adversary patterns and initial preferences drawn from the
+/// seeded RNG (admissible under each session's model by construction).
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidParams`] for an invalid `(n, t)`.
+pub fn synthetic_mix(config: &LoadConfig) -> Result<Vec<SessionSpec>, EbaError> {
+    let params = Params::new(config.n, config.t)?;
+    let horizon = params.default_horizon();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut specs = Vec::with_capacity(config.sessions);
+    for i in 0..config.sessions {
+        let stack = STACK_NAMES[i % STACK_NAMES.len()];
+        let model =
+            FailureModel::by_name(MODEL_NAMES[(i / STACK_NAMES.len()) % MODEL_NAMES.len()])?;
+        let sampler = AdversarySampler::new(model, params, horizon, config.drop_prob);
+        let pattern = sampler.sample(&mut rng);
+        let inits: Vec<Value> = (0..config.n)
+            .map(|_| Value::from_bit(rng.random_range(0..2u8)))
+            .collect();
+        specs.push(SessionSpec::new(
+            format!("{stack}{}", model.suffix()),
+            params,
+            pattern,
+            inits,
+            horizon,
+        ));
+    }
+    Ok(specs)
+}
+
+fn service_config(workers: usize, capacity: usize, oracle_stride: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        capacity,
+        oracle_stride: (oracle_stride > 0).then_some(oracle_stride),
+        ..Default::default()
+    }
+}
+
+fn summary_table(title: &str, caption: &str, summary: &ServiceRunSummary) -> Table {
+    let report = &summary.report;
+    let traffic = report.total_traffic();
+    let mut table = Table::new(
+        title,
+        caption,
+        &[
+            "sessions",
+            "decided",
+            "peak in-flight",
+            "deferrals",
+            "frames sent",
+            "frames dropped",
+            "sessions/s",
+            "decisions/s",
+            "oracle",
+        ],
+    );
+    let oracle = if report.oracle_checked == 0 {
+        "—".to_string()
+    } else {
+        format!(
+            "{}/{} ok",
+            report.oracle_checked - report.oracle_mismatches,
+            report.oracle_checked
+        )
+    };
+    table.push(vec![
+        report.outcomes.len().to_string(),
+        report.decided_sessions().to_string(),
+        report.peak_in_flight.to_string(),
+        report.deferrals.to_string(),
+        traffic.sent.to_string(),
+        traffic.dropped().to_string(),
+        format!("{:.0}", summary.sessions_per_sec),
+        format!("{:.0}", summary.decisions_per_sec),
+        oracle,
+    ]);
+    table
+}
+
+/// Runs the synthetic seeded load mix through the service.
+///
+/// # Errors
+///
+/// Propagates [`run_service`] errors (bad spec, stalled runtime) and
+/// invalid `(n, t)`.
+pub fn run_load(config: &LoadConfig) -> Result<(ServiceRunSummary, Table), EbaError> {
+    let specs = synthetic_mix(config)?;
+    let service = service_config(config.workers, config.capacity, config.oracle_stride);
+    let report = run_service(&specs, &service)?;
+    let summary = ServiceRunSummary::derive(report);
+    let table = summary_table(
+        "Service load",
+        &format!(
+            "{} sessions ({} stacks × {} models, seed {:#x}) multiplexed at capacity {}.",
+            config.sessions,
+            STACK_NAMES.len(),
+            MODEL_NAMES.len(),
+            config.seed,
+            config.capacity,
+        ),
+        &summary,
+    );
+    Ok((summary, table))
+}
+
+/// Runs every `.eba` scenario of a corpus directory as a service session.
+///
+/// # Errors
+///
+/// Returns corpus load errors (`<path>:<line>:`-prefixed) and
+/// [`run_service`] errors.
+pub fn run_serve(
+    dir: &Path,
+    workers: usize,
+    capacity: usize,
+) -> Result<(ServiceRunSummary, Table), EbaError> {
+    let scenarios = load_dir(dir)?;
+    let specs: Vec<SessionSpec> = scenarios
+        .iter()
+        .map(|s| {
+            SessionSpec::from_scenario(&s.spec).map_err(|e| {
+                EbaError::InvalidInput(format!(
+                    "{}: {}",
+                    s.path.display(),
+                    eba_core::context::error_message(&e)
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let service = service_config(workers, capacity, 1);
+    let report = run_service(&specs, &service)?;
+    let summary = ServiceRunSummary::derive(report);
+    let table = summary_table(
+        "Service corpus run",
+        &format!(
+            "{} scenarios from {} as concurrent sessions (every decision oracle-checked).",
+            specs.len(),
+            dir.display(),
+        ),
+        &summary,
+    );
+    Ok((summary, table))
+}
+
+/// Renders a `--load` run as the `eba-bench-v1` service document.
+pub fn render_json(config: &LoadConfig, summary: &ServiceRunSummary) -> String {
+    let report = &summary.report;
+    let traffic = report.total_traffic();
+    let histogram = report.rounds_to_decide_histogram();
+    let histogram = histogram
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"eba-bench-v1\",\n");
+    out.push_str("  \"kind\": \"service_load\",\n");
+    out.push_str(&format!(
+        "  \"n\": {},\n  \"t\": {},\n  \"seed\": {},\n  \"sessions\": {},\n",
+        config.n, config.t, config.seed, config.sessions
+    ));
+    out.push_str(&format!(
+        "  \"capacity\": {},\n  \"workers\": {},\n  \"drop_prob\": {},\n",
+        config.capacity, config.workers, config.drop_prob
+    ));
+    out.push_str(&format!(
+        "  \"service_seconds\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"decisions_per_sec\": {:.1},\n",
+        report.service_seconds, summary.sessions_per_sec, summary.decisions_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"admitted\": {},\n  \"decided_sessions\": {},\n  \"peak_in_flight\": {},\n  \"deferrals\": {},\n",
+        report.admitted,
+        report.decided_sessions(),
+        report.peak_in_flight,
+        report.deferrals
+    ));
+    out.push_str(&format!(
+        "  \"frames\": {{ \"sent\": {}, \"delivered\": {}, \"dropped\": {} }},\n",
+        traffic.sent,
+        traffic.delivered,
+        traffic.dropped()
+    ));
+    out.push_str(&format!(
+        "  \"oracle\": {{ \"checked\": {}, \"mismatches\": {} }},\n",
+        report.oracle_checked, report.oracle_mismatches
+    ));
+    out.push_str(&format!("  \"rounds_to_decide\": [{histogram}]\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the rendered service document to `path`.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] if the file cannot be written.
+pub fn write_json(
+    path: &str,
+    config: &LoadConfig,
+    summary: &ServiceRunSummary,
+) -> Result<(), EbaError> {
+    let doc = render_json(config, summary);
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| EbaError::InvalidInput(format!("--bench-json {path}: {e}")))?;
+    file.write_all(doc.as_bytes())
+        .map_err(|e| EbaError::InvalidInput(format!("--bench-json {path}: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LoadConfig {
+        LoadConfig {
+            sessions: 64,
+            capacity: 16,
+            workers: 2,
+            oracle_stride: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn the_load_mix_is_deterministic_and_oracle_clean() {
+        let config = tiny_config();
+        let a = synthetic_mix(&config).unwrap();
+        let b = synthetic_mix(&config).unwrap();
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stack, y.stack);
+            assert_eq!(x.inits, y.inits);
+        }
+        // All 16 stack × model combinations appear in the mix.
+        let distinct: std::collections::BTreeSet<&str> =
+            a.iter().map(|s| s.stack.as_str()).collect();
+        assert_eq!(distinct.len(), 16);
+
+        let (summary, table) = run_load(&config).unwrap();
+        assert_eq!(summary.report.outcomes.len(), 64);
+        assert_eq!(summary.report.decided_sessions(), 64);
+        assert!(summary.report.oracle_checked >= 64 / 8);
+        assert_eq!(summary.report.oracle_mismatches, 0);
+        assert!(summary.sessions_per_sec > 0.0);
+        assert!(table.to_markdown().contains("sessions/s"));
+    }
+
+    #[test]
+    fn the_json_document_carries_the_throughput_fields() {
+        let config = tiny_config();
+        let (summary, _) = run_load(&config).unwrap();
+        let doc = render_json(&config, &summary);
+        assert!(doc.contains("\"schema\": \"eba-bench-v1\""));
+        assert!(doc.contains("\"kind\": \"service_load\""));
+        assert!(doc.contains("\"sessions_per_sec\""));
+        assert!(doc.contains("\"decisions_per_sec\""));
+        assert!(doc.contains("\"rounds_to_decide\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn serve_runs_the_committed_corpus() {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+        let (summary, table) = run_serve(&dir, 2, 8).unwrap();
+        assert!(summary.report.outcomes.len() >= 10);
+        assert_eq!(
+            summary.report.oracle_checked,
+            summary.report.outcomes.len(),
+            "--serve oracle-checks every scenario"
+        );
+        assert_eq!(summary.report.oracle_mismatches, 0);
+        assert!(table.to_markdown().contains("Service corpus run"));
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! Async multiplexed consensus service: thousands of concurrent EBA
+//! sessions over a fixed worker pool.
+//!
+//! The lockstep transport (`eba-transport`) runs one thread-per-agent
+//! cluster at a time; this crate multiplexes arbitrarily many sessions —
+//! each its own stack, failure pattern, and horizon — over the vendored
+//! `exec` runtime (worker-pool executor, timers, bounded async
+//! mailboxes):
+//!
+//! * [`SessionSpec`] describes one session and compiles
+//!   ([`SessionSpec::build_engine`]) into a type-erased [`SessionEngine`]
+//!   stepping the stack one synchronous round at a time over encoded wire
+//!   frames.
+//! * [`SessionTable`] is the dense `SessionId(u32)` arena bounding how
+//!   many sessions are live — admission control blocks (and counts a
+//!   deferral) when it is full.
+//! * [`run_service`] drives a batch: session tasks exchange per-round
+//!   envelopes with router tasks that drain their mailbox in one batch,
+//!   inject each session's omissions, and count
+//!   [`RoundTraffic`](eba_transport::RoundTraffic) — the same counters
+//!   the lockstep `TransportReport` carries.
+//! * [`ServiceReport`] aggregates decisions, rounds-to-decide histograms,
+//!   drop counts, backpressure deferrals, and the verdict of sampled
+//!   oracle cross-checks against the lockstep cluster.
+//!
+//! ```
+//! use eba_core::prelude::*;
+//! use eba_service::{run_service, ServiceConfig, SessionSpec};
+//!
+//! # fn main() -> Result<(), EbaError> {
+//! let params = Params::new(3, 1)?;
+//! let specs: Vec<SessionSpec> = (0..16)
+//!     .map(|i| {
+//!         SessionSpec::new(
+//!             "E_fip/P_opt",
+//!             params,
+//!             FailurePattern::failure_free(params),
+//!             vec![Value::from_bit((i % 2) as u8); 3],
+//!             4,
+//!         )
+//!     })
+//!     .collect();
+//! let config = ServiceConfig {
+//!     workers: 2,
+//!     capacity: 8,
+//!     oracle_stride: Some(4),
+//!     ..Default::default()
+//! };
+//! let report = run_service(&specs, &config)?;
+//! assert_eq!(report.admitted, 16);
+//! assert_eq!(report.decided_sessions(), 16);
+//! assert_eq!(report.oracle_mismatches, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod report;
+mod service;
+mod table;
+
+pub use engine::{RoundFrames, SessionEngine, SessionSpec};
+pub use report::{ServiceReport, SessionOutcome};
+pub use service::{run_service, ServiceConfig};
+pub use table::{SessionId, SessionTable};

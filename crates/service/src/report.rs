@@ -1,0 +1,155 @@
+//! Service-level observability: per-session outcomes and the aggregate
+//! [`ServiceReport`], sharing [`RoundTraffic`] with the lockstep
+//! transport so both execution paths report comparable counters.
+
+use eba_transport::RoundTraffic;
+
+use eba_core::types::Value;
+
+use crate::table::SessionId;
+
+/// The terminal record of one session, produced at graceful teardown.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The (recycled) table slot the session ran in.
+    pub id: SessionId,
+    /// Index of the session's spec in the submitted batch — stable across
+    /// slot reuse, and the key for oracle cross-checks.
+    pub spec_index: usize,
+    /// Qualified stack name (`E_fip/P_opt@crash`).
+    pub stack: String,
+    /// Per-agent first decision round (lockstep convention: the round
+    /// after the acting round).
+    pub decision_rounds: Vec<Option<u32>>,
+    /// Per-agent decision value.
+    pub decision_values: Vec<Option<Value>>,
+    /// Round the session fully decided — the latest decision round over
+    /// the pattern's nonfaulty agents, `None` if any of them never
+    /// decided.
+    pub decided_round: Option<u32>,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Frames this session handed to its router.
+    pub frames_sent: u64,
+    /// Frames the session's failure pattern suppressed.
+    pub frames_dropped: u64,
+}
+
+/// The aggregate outcome of a [`run_service`](crate::run_service) batch.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceReport {
+    /// One outcome per admitted session, in completion order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Sessions admitted (equals the submitted batch when nothing errors).
+    pub admitted: usize,
+    /// Times admission had to wait for a completion because the session
+    /// table was full — the backpressure counter.
+    pub deferrals: u64,
+    /// Highest number of concurrently live sessions observed.
+    pub peak_in_flight: usize,
+    /// Service-wide per-round sent/delivered counters (index = round),
+    /// merged across every router — the same shape the lockstep
+    /// `TransportReport` reports per cluster.
+    pub round_traffic: Vec<RoundTraffic>,
+    /// Wall-clock seconds of the multiplexed phase (admission through
+    /// teardown), excluding the optional oracle pass — the denominator
+    /// for sessions/sec and decisions/sec.
+    pub service_seconds: f64,
+    /// Sessions cross-checked against the lockstep oracle.
+    pub oracle_checked: usize,
+    /// Cross-checked sessions whose decision vector disagreed with the
+    /// oracle (must be zero; nonzero means a runtime bug).
+    pub oracle_mismatches: usize,
+}
+
+impl ServiceReport {
+    /// Sessions whose nonfaulty agents all decided.
+    pub fn decided_sessions(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.decided_round.is_some())
+            .count()
+    }
+
+    /// Histogram of rounds-to-decide: entry `r` counts sessions whose
+    /// [`SessionOutcome::decided_round`] is `r`. Undecided sessions are
+    /// not counted (compare [`decided_sessions`](Self::decided_sessions)
+    /// with [`ServiceReport::admitted`]).
+    pub fn rounds_to_decide_histogram(&self) -> Vec<u64> {
+        let mut histogram = Vec::new();
+        for outcome in &self.outcomes {
+            if let Some(r) = outcome.decided_round {
+                let r = r as usize;
+                if histogram.len() <= r {
+                    histogram.resize(r + 1, 0);
+                }
+                histogram[r] += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Total frames sent/delivered across all sessions and rounds.
+    pub fn total_traffic(&self) -> RoundTraffic {
+        let mut total = RoundTraffic::default();
+        for t in &self.round_traffic {
+            total.absorb(t);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(spec_index: usize, decided_round: Option<u32>) -> SessionOutcome {
+        SessionOutcome {
+            id: crate::SessionId::from_raw_for_tests(0),
+            spec_index,
+            stack: "E_min/P_min".into(),
+            decision_rounds: vec![],
+            decision_values: vec![],
+            decided_round,
+            rounds: 4,
+            frames_sent: 0,
+            frames_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_decided_sessions_by_round() {
+        let report = ServiceReport {
+            outcomes: vec![
+                outcome(0, Some(2)),
+                outcome(1, Some(2)),
+                outcome(2, Some(3)),
+                outcome(3, None),
+            ],
+            admitted: 4,
+            ..Default::default()
+        };
+        assert_eq!(report.decided_sessions(), 3);
+        assert_eq!(report.rounds_to_decide_histogram(), vec![0, 0, 2, 1]);
+    }
+
+    #[test]
+    fn total_traffic_folds_rounds() {
+        let report = ServiceReport {
+            round_traffic: vec![
+                RoundTraffic {
+                    sent: 10,
+                    delivered: 8,
+                },
+                RoundTraffic {
+                    sent: 6,
+                    delivered: 6,
+                },
+            ],
+            ..Default::default()
+        };
+        let total = report.total_traffic();
+        assert_eq!(total.sent, 16);
+        assert_eq!(total.dropped(), 2);
+    }
+}

@@ -32,6 +32,32 @@ struct AgentReport<S> {
     final_state: S,
 }
 
+/// Per-round message counters, shared by the lockstep cluster
+/// ([`TransportReport`]) and the multiplexed service (`ServiceReport` in
+/// `eba-service`), so both paths report comparable observability data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundTraffic {
+    /// Frames handed to the router in this round (dropped frames
+    /// included — the sender did the work).
+    pub sent: u64,
+    /// Frames actually delivered in this round.
+    pub delivered: u64,
+}
+
+impl RoundTraffic {
+    /// Frames the failure pattern suppressed in this round.
+    pub fn dropped(&self) -> u64 {
+        self.sent - self.delivered
+    }
+
+    /// Accumulates another counter into this one (used when folding
+    /// per-session traffic into a service-wide total).
+    pub fn absorb(&mut self, other: &RoundTraffic) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+    }
+}
+
 /// The outcome of a cluster execution.
 #[derive(Clone, Debug)]
 pub struct TransportReport<E: InformationExchange> {
@@ -48,6 +74,8 @@ pub struct TransportReport<E: InformationExchange> {
     pub wire_bytes_delivered: u64,
     /// Frames handed to the router.
     pub frames_sent: u64,
+    /// Per-round sent/delivered frame counters (index = round).
+    pub round_traffic: Vec<RoundTraffic>,
     /// Rounds executed.
     pub rounds: u32,
 }
@@ -101,6 +129,7 @@ where
     let mut wire_bytes_sent = 0u64;
     let mut wire_bytes_delivered = 0u64;
     let mut frames_sent = 0u64;
+    let mut round_traffic: Vec<RoundTraffic> = Vec::with_capacity(horizon as usize);
 
     std::thread::scope(|scope| {
         // Agent threads.
@@ -169,9 +198,11 @@ where
                 .into_iter()
                 .map(|f| f.expect("all agents sent"))
                 .collect();
+            let mut traffic = RoundTraffic::default();
             for row in frames.iter() {
                 for frame in row.iter().flatten() {
                     frames_sent += 1;
+                    traffic.sent += 1;
                     wire_bytes_sent += frame.len() as u64;
                 }
             }
@@ -184,6 +215,7 @@ where
                                 if pattern.delivers(m, AgentId::new(from), AgentId::new(to)) =>
                             {
                                 wire_bytes_delivered += f.len() as u64;
+                                traffic.delivered += 1;
                                 Some(f)
                             }
                             _ => None,
@@ -196,6 +228,7 @@ where
                     })
                     .expect("agent alive");
             }
+            round_traffic.push(traffic);
         }
 
         // Collect reports.
@@ -218,6 +251,7 @@ where
             wire_bytes_sent,
             wire_bytes_delivered,
             frames_sent,
+            round_traffic,
             rounds: horizon,
         })
     })
@@ -281,6 +315,8 @@ pub struct ClusterSummary {
     pub wire_bytes_delivered: u64,
     /// Frames handed to the router.
     pub frames_sent: u64,
+    /// Per-round sent/delivered frame counters (index = round).
+    pub round_traffic: Vec<RoundTraffic>,
     /// Rounds executed.
     pub rounds: u32,
 }
@@ -293,6 +329,7 @@ impl<E: InformationExchange> From<TransportReport<E>> for ClusterSummary {
             wire_bytes_sent: report.wire_bytes_sent,
             wire_bytes_delivered: report.wire_bytes_delivered,
             frames_sent: report.frames_sent,
+            round_traffic: report.round_traffic,
             rounds: report.rounds,
         }
     }
@@ -319,14 +356,16 @@ impl<E: InformationExchange> From<TransportReport<E>> for ClusterSummary {
 ///
 /// # Errors
 ///
-/// Exactly as [`run_cluster`].
+/// Exactly as [`run_cluster`], with every message prefixed by the
+/// qualified stack name (`E_fip/P_opt@crash`) so a battery over many
+/// registry stacks reports which one failed.
 pub fn run_named_cluster(
     stack: &NamedStack,
     pattern: &FailurePattern,
     inits: &[Value],
     horizon: u32,
 ) -> Result<ClusterSummary, EbaError> {
-    match stack {
+    let summary = match stack {
         NamedStack::Min(ctx) => {
             run_context_cluster(ctx, &MinCodec, pattern, inits, horizon).map(Into::into)
         }
@@ -339,7 +378,14 @@ pub fn run_named_cluster(
         NamedStack::Naive(ctx) => {
             run_context_cluster(ctx, &NaiveCodec, pattern, inits, horizon).map(Into::into)
         }
-    }
+    };
+    summary.map_err(|e| {
+        EbaError::InvalidInput(format!(
+            "{}: {}",
+            stack.qualified_name(),
+            eba_core::context::error_message(&e)
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -505,6 +551,42 @@ mod tests {
             .unwrap();
         assert_eq!(report.decision_rounds, trace.metrics.decision_rounds);
         assert_eq!(report.decision_values, trace.metrics.decision_values);
+    }
+
+    #[test]
+    fn round_traffic_accounts_for_every_frame() {
+        let ex = MinExchange::new(params());
+        let proto = PMin::new(params());
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let pattern = silent_pattern(params(), faulty, 4).unwrap();
+        let inits = [Value::Zero, Value::One, Value::One, Value::One];
+        let report = run_cluster(&ex, &proto, &MinCodec, &pattern, &inits, 4).unwrap();
+        assert_eq!(report.round_traffic.len(), 4);
+        // Per-round counters sum to the run totals…
+        let sent: u64 = report.round_traffic.iter().map(|t| t.sent).sum();
+        let dropped: u64 = report.round_traffic.iter().map(|t| t.dropped()).sum();
+        assert_eq!(sent, report.frames_sent);
+        // …and the silent a0 loses exactly its 3 frames to others
+        // (self-delivery kept), in the round it decides.
+        assert_eq!(dropped, 3);
+        let mut total = RoundTraffic::default();
+        for t in &report.round_traffic {
+            total.absorb(t);
+        }
+        assert_eq!(total.sent, sent);
+        assert_eq!(total.dropped(), 3);
+    }
+
+    #[test]
+    fn named_cluster_errors_carry_the_qualified_stack_name() {
+        let faulty = AgentSet::singleton(AgentId::new(0));
+        let pattern = isolation_pattern(params(), faulty, 4).unwrap();
+        let stack = NamedStack::by_name("E_fip/P_opt@crash", params()).unwrap();
+        let err = run_named_cluster(&stack, &pattern, &[Value::One; 4], 4).unwrap_err();
+        assert!(
+            eba_core::context::error_message(&err).starts_with("E_fip/P_opt@crash: "),
+            "error must lead with the qualified name: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! The fixed worker-pool executor: a shared run queue of tasks, each a
+//! boxed future re-enqueued by its waker.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Task lifecycle states. A task is on the run queue iff its state is
+/// `SCHEDULED`; `wake` transitions `IDLE → SCHEDULED` (enqueue) or
+/// `RUNNING → RESCHEDULED` (the polling worker re-enqueues afterwards),
+/// so a task is never queued — and therefore never polled — twice
+/// concurrently.
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const RESCHEDULED: u8 = 3;
+const DONE: u8 = 4;
+
+struct Queue {
+    tasks: VecDeque<Arc<Task>>,
+    shutdown: bool,
+}
+
+struct Pool {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn enqueue(&self, task: Arc<Task>) {
+        let mut q = self.queue.lock().unwrap();
+        if q.shutdown {
+            return;
+        }
+        q.tasks.push_back(task);
+        drop(q);
+        self.available.notify_one();
+    }
+}
+
+struct Task {
+    state: AtomicU8,
+    future: Mutex<Option<BoxFuture>>,
+    pool: Arc<Pool>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.pool.enqueue(self.clone());
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, RESCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already marked for re-queue, or finished:
+                // nothing to do.
+                _ => return,
+            }
+        }
+    }
+}
+
+impl Task {
+    fn run(self: Arc<Self>) {
+        self.state.store(RUNNING, Ordering::Release);
+        let waker = Waker::from(self.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap();
+        let Some(fut) = slot.as_mut() else {
+            self.state.store(DONE, Ordering::Release);
+            return;
+        };
+        // The spawn wrapper routes panics into the `JoinHandle`; this
+        // outer catch only protects the worker thread from a panic in a
+        // waker or drop impl.
+        let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match polled {
+            Ok(Poll::Pending) => {
+                drop(slot);
+                // RUNNING → IDLE, unless a wake arrived mid-poll
+                // (RESCHEDULED): then this worker re-enqueues.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    self.state.store(SCHEDULED, Ordering::Release);
+                    self.pool.enqueue(self.clone());
+                }
+            }
+            Ok(Poll::Ready(())) | Err(_) => {
+                *slot = None;
+                drop(slot);
+                self.state.store(DONE, Ordering::Release);
+            }
+        }
+    }
+}
+
+fn worker_loop(pool: Arc<Pool>) {
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(task) = q.tasks.pop_front() {
+                    break task;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = pool.available.wait(q).unwrap();
+            }
+        };
+        task.run();
+    }
+}
+
+/// Where a finished task leaves its output for the [`JoinHandle`].
+struct JoinState<T> {
+    result: Option<Result<T, Box<dyn Any + Send>>>,
+    waker: Option<Waker>,
+}
+
+/// Awaits the output of a task spawned with [`Executor::spawn`].
+///
+/// Dropping the handle detaches the task (it keeps running). If the task
+/// panicked, awaiting the handle resumes the panic on the awaiting
+/// thread.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished (successfully or by panicking).
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().unwrap().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut state = self.state.lock().unwrap();
+        match state.result.take() {
+            Some(Ok(value)) => Poll::Ready(value),
+            Some(Err(panic)) => resume_unwind(panic),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Catches a panic unwinding out of the wrapped future's `poll`, so the
+/// spawn wrapper can forward it to the [`JoinHandle`].
+struct CatchUnwind<F>(F);
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, Box<dyn Any + Send>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of the only field; it is never moved.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(value)) => Poll::Ready(Ok(value)),
+            Err(panic) => Poll::Ready(Err(panic)),
+        }
+    }
+}
+
+/// A fixed pool of worker threads multiplexing spawned tasks.
+///
+/// Dropping the executor shuts the pool down: workers finish the task
+/// they are currently polling, remaining queued tasks are dropped
+/// (cancelling their futures), and the worker threads are joined.
+pub struct Executor {
+    pool: Arc<Pool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool of exactly `workers` OS threads (`0` is treated
+    /// as 1).
+    pub fn new(workers: usize) -> Self {
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || worker_loop(pool))
+            })
+            .collect();
+        Executor { pool, workers }
+    }
+
+    /// The number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Schedules `future` as a task on the pool and returns a handle to
+    /// its output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let handle_state = Arc::clone(&state);
+        let wrapped = async move {
+            let result = CatchUnwind(future).await;
+            let waker = {
+                let mut state = state.lock().unwrap();
+                state.result = Some(result);
+                state.waker.take()
+            };
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        };
+        let task = Arc::new(Task {
+            state: AtomicU8::new(SCHEDULED),
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            pool: Arc::clone(&self.pool),
+        });
+        self.pool.enqueue(task);
+        JoinHandle {
+            state: handle_state,
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut q = self.pool.queue.lock().unwrap();
+            q.shutdown = true;
+            q.tasks.clear();
+        }
+        self.pool.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Wakes the blocked [`block_on`] thread.
+struct ThreadWaker(std::thread::Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives `future` to completion on the **calling** thread, parking it
+/// between polls. Spawned tasks keep running on the pool's workers while
+/// the caller is parked — this is how a service's driver loop waits on
+/// mailboxes without occupying a worker.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// Future of [`yield_now`].
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Cooperatively yields: reschedules the current task to the back of the
+/// run queue once.
+pub fn yield_now() -> YieldNow {
+    YieldNow::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_returns_the_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_run_on_the_pool_and_join() {
+        let pool = Executor::new(3);
+        let handles: Vec<_> = (0..64u64)
+            .map(|i| pool.spawn(async move { i * i }))
+            .collect();
+        let total: u64 = handles.into_iter().map(block_on).sum();
+        assert_eq!(total, (0..64u64).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn tasks_far_outnumber_workers() {
+        let pool = Executor::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..1000)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                pool.spawn(async move {
+                    yield_now().await;
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            block_on(h);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn panics_propagate_through_the_join_handle() {
+        let pool = Executor::new(1);
+        let ok = pool.spawn(async { "fine" });
+        let bad = pool.spawn(async { panic!("task exploded") });
+        assert_eq!(block_on(ok), "fine");
+        let caught = catch_unwind(AssertUnwindSafe(|| block_on(bad)));
+        assert!(caught.is_err(), "the panic must resurface at the join");
+        // The worker survived the panic and keeps serving tasks.
+        assert_eq!(block_on(pool.spawn(async { 7 })), 7);
+    }
+
+    #[test]
+    fn dropping_the_executor_cancels_queued_tasks() {
+        let pool = Executor::new(1);
+        // A task that re-wakes itself forever would never finish; dropping
+        // the executor must still return (the future is dropped).
+        struct Forever;
+        impl Future for Forever {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+        for _ in 0..8 {
+            let _detached = pool.spawn(Forever);
+        }
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn wake_during_poll_reschedules_exactly_once() {
+        // A future that wakes itself mid-poll and completes on the second
+        // poll: exercises the RUNNING → RESCHEDULED transition.
+        struct SelfWake(u8);
+        impl Future for SelfWake {
+            type Output = u8;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u8> {
+                self.0 += 1;
+                if self.0 >= 2 {
+                    Poll::Ready(self.0)
+                } else {
+                    cx.waker().wake_by_ref();
+                    cx.waker().wake_by_ref(); // double wake: one reschedule
+                    Poll::Pending
+                }
+            }
+        }
+        let pool = Executor::new(2);
+        assert_eq!(block_on(pool.spawn(SelfWake(0))), 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! Bounded async MPSC mailbox: `send` waits while full (backpressure),
+//! `recv` waits while empty, `recv_batch` drains everything queued in one
+//! wakeup — the per-round batching primitive.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+    recv_waker: Option<Waker>,
+    send_wakers: VecDeque<Waker>,
+}
+
+impl<T> Inner<T> {
+    fn wake_receiver(&mut self) -> Option<Waker> {
+        self.recv_waker.take()
+    }
+
+    fn wake_one_sender(&mut self) -> Option<Waker> {
+        self.send_wakers.pop_front()
+    }
+}
+
+/// Error from [`MailboxSender::send`]: the receiver was dropped; the
+/// unsent value is returned.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("mailbox receiver dropped")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error from [`MailboxSender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The mailbox is at capacity; the value is returned.
+    Full(T),
+    /// The receiver was dropped; the value is returned.
+    Closed(T),
+}
+
+/// The sending half of a [`mailbox`]. Cloneable; the mailbox closes for
+/// the receiver once every sender is dropped.
+pub struct MailboxSender<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Clone for MailboxSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().unwrap().senders += 1;
+        MailboxSender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for MailboxSender<T> {
+    fn drop(&mut self) {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                inner.wake_receiver()
+            } else {
+                None
+            }
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> MailboxSender<T> {
+    /// Sends `value`, waiting while the mailbox is full. Resolves to
+    /// `Err(SendError)` if the receiver is dropped.
+    pub fn send(&self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            sender: self,
+            value: Some(value),
+        }
+    }
+
+    /// Non-blocking send: fails immediately when full or closed.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap();
+            if !inner.receiver_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            inner.wake_receiver()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        Ok(())
+    }
+}
+
+/// Future of [`MailboxSender::send`].
+pub struct SendFuture<'a, T> {
+    sender: &'a MailboxSender<T>,
+    value: Option<T>,
+}
+
+impl<T> Unpin for SendFuture<'_, T> {}
+
+impl<T> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let value = self
+            .value
+            .take()
+            .expect("SendFuture polled after completion");
+        let waker = {
+            let mut inner = self.sender.inner.lock().unwrap();
+            if !inner.receiver_alive {
+                return Poll::Ready(Err(SendError(value)));
+            }
+            if inner.queue.len() >= inner.capacity {
+                self.value = Some(value);
+                inner.send_wakers.push_back(cx.waker().clone());
+                return Poll::Pending;
+            }
+            inner.queue.push_back(value);
+            inner.wake_receiver()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// The receiving half of a [`mailbox`] (single consumer).
+pub struct Mailbox<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Drop for Mailbox<T> {
+    fn drop(&mut self) {
+        let wakers = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.receiver_alive = false;
+            inner.queue.clear();
+            std::mem::take(&mut inner.send_wakers)
+        };
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// Receives one value, waiting while the mailbox is empty. Resolves
+    /// to `None` once every sender is dropped and the queue is drained.
+    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture { mailbox: self }
+    }
+
+    /// Drains **everything** currently queued in one wakeup, waiting only
+    /// if the mailbox is empty. Resolves to an empty `Vec` once every
+    /// sender is dropped and the queue is drained.
+    pub fn recv_batch(&mut self) -> RecvBatch<'_, T> {
+        RecvBatch { mailbox: self }
+    }
+
+    /// Non-blocking receive of one value, if any is queued.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let (value, waker) = {
+            let mut inner = self.inner.lock().unwrap();
+            let value = inner.queue.pop_front();
+            let waker = if value.is_some() {
+                inner.wake_one_sender()
+            } else {
+                None
+            };
+            (value, waker)
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        value
+    }
+}
+
+/// Future of [`Mailbox::recv`].
+pub struct RecvFuture<'a, T> {
+    mailbox: &'a mut Mailbox<T>,
+}
+
+impl<T> Unpin for RecvFuture<'_, T> {}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let (out, waker) = {
+            let mut inner = self.mailbox.inner.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(value) => {
+                    let waker = inner.wake_one_sender();
+                    (Poll::Ready(Some(value)), waker)
+                }
+                None if inner.senders == 0 => (Poll::Ready(None), None),
+                None => {
+                    inner.recv_waker = Some(cx.waker().clone());
+                    (Poll::Pending, None)
+                }
+            }
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        out
+    }
+}
+
+/// Future of [`Mailbox::recv_batch`].
+pub struct RecvBatch<'a, T> {
+    mailbox: &'a mut Mailbox<T>,
+}
+
+impl<T> Unpin for RecvBatch<'_, T> {}
+
+impl<T> Future for RecvBatch<'_, T> {
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let (out, wakers) = {
+            let mut inner = self.mailbox.inner.lock().unwrap();
+            if inner.queue.is_empty() {
+                if inner.senders == 0 {
+                    (Poll::Ready(Vec::new()), VecDeque::new())
+                } else {
+                    inner.recv_waker = Some(cx.waker().clone());
+                    (Poll::Pending, VecDeque::new())
+                }
+            } else {
+                let batch = inner.queue.drain(..).collect();
+                // The whole queue emptied: every waiting sender now has
+                // room, so wake them all.
+                let wakers = std::mem::take(&mut inner.send_wakers);
+                (Poll::Ready(batch), wakers)
+            }
+        };
+        for waker in wakers {
+            waker.wake();
+        }
+        out
+    }
+}
+
+/// Creates a bounded mailbox holding at most `capacity` values (`0` is
+/// treated as 1).
+pub fn mailbox<T>(capacity: usize) -> (MailboxSender<T>, Mailbox<T>) {
+    let inner = Arc::new(Mutex::new(Inner {
+        queue: VecDeque::new(),
+        capacity: capacity.max(1),
+        senders: 1,
+        receiver_alive: true,
+        recv_waker: None,
+        send_wakers: VecDeque::new(),
+    }));
+    (
+        MailboxSender {
+            inner: Arc::clone(&inner),
+        },
+        Mailbox { inner },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{block_on, Executor};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn values_arrive_in_order_and_close_on_sender_drop() {
+        let (tx, mut rx) = mailbox::<u32>(4);
+        let pool = Executor::new(1);
+        let feeder = pool.spawn(async move {
+            for i in 0..10 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let got = block_on(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        block_on(feeder);
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_the_receiver_drains() {
+        let (tx, mut rx) = mailbox::<u32>(2);
+        let pool = Executor::new(1);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = Arc::clone(&sent);
+        let feeder = pool.spawn(async move {
+            for i in 0..6 {
+                tx.send(i).await.unwrap();
+                sent2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Give the feeder time to hit the capacity wall.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            sent.load(Ordering::SeqCst) <= 3,
+            "backpressure must stall the feeder at capacity"
+        );
+        let total: u32 = block_on(async move {
+            let mut total = 0;
+            while let Some(v) = rx.recv().await {
+                total += v;
+            }
+            total
+        });
+        block_on(feeder);
+        assert_eq!(total, (0..6).sum());
+    }
+
+    #[test]
+    fn recv_batch_drains_everything_queued() {
+        let (tx, mut rx) = mailbox::<u32>(8);
+        for i in 0..5 {
+            tx.try_send(i).unwrap();
+        }
+        let batch = block_on(rx.recv_batch());
+        assert_eq!(batch, vec![0, 1, 2, 3, 4]);
+        drop(tx);
+        assert!(block_on(rx.recv_batch()).is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_closed() {
+        let (tx, rx) = mailbox::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Closed(3)));
+    }
+
+    #[test]
+    fn send_fails_once_the_receiver_is_dropped() {
+        let (tx, rx) = mailbox::<u32>(1);
+        drop(rx);
+        assert_eq!(block_on(tx.send(9)), Err(SendError(9)));
+    }
+
+    #[test]
+    fn many_senders_one_receiver() {
+        let (tx, mut rx) = mailbox::<u64>(4);
+        let pool = Executor::new(4);
+        let handles: Vec<_> = (0..8u64)
+            .map(|s| {
+                let tx = tx.clone();
+                pool.spawn(async move {
+                    for i in 0..100u64 {
+                        tx.send(s * 1000 + i).await.unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let count = block_on(async move {
+            let mut count = 0u64;
+            loop {
+                let batch = rx.recv_batch().await;
+                if batch.is_empty() {
+                    break;
+                }
+                count += batch.len() as u64;
+            }
+            count
+        });
+        for h in handles {
+            block_on(h);
+        }
+        assert_eq!(count, 800);
+    }
+}

@@ -13,6 +13,8 @@
 //!   the knowledge-based-program implements-checker;
 //! * [`transport`] — a threaded message-passing runtime with omission
 //!   fault injection;
+//! * [`service`] — the async multiplexed consensus service (thousands of
+//!   concurrent sessions over a worker pool);
 //! * [`experiments`] — the table/figure generators (E1–E9).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
@@ -20,6 +22,7 @@
 pub use eba_core as core;
 pub use eba_epistemic as epistemic;
 pub use eba_experiments as experiments;
+pub use eba_service as service;
 pub use eba_sim as sim;
 pub use eba_transport as transport;
 

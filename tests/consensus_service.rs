@@ -1,0 +1,159 @@
+//! Integration tests for the async multiplexed consensus service:
+//!
+//! * on random instances, every multiplexed session's decision vector
+//!   equals the lockstep threaded cluster's (all four stacks, all four
+//!   failure models, adversary-sampled patterns);
+//! * backpressure admits a large batch through a tiny session table
+//!   without losing or stalling anything;
+//! * the deterministic seeded `--load` mix decides every admitted
+//!   session and reproduces the same decisions run over run.
+
+use eba::experiments::service_cli::{self, LoadConfig};
+use eba::prelude::*;
+use eba::service::{run_service, ServiceConfig, ServiceReport, SessionSpec};
+use eba::transport::run_named_cluster;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One adversary-sampled session per stack under the given model.
+fn mixed_specs(
+    n: usize,
+    t: usize,
+    model: FailureModel,
+    drop_prob: f64,
+    seed: u64,
+) -> Vec<SessionSpec> {
+    let params = Params::new(n, t).unwrap();
+    let horizon = params.default_horizon();
+    let sampler = AdversarySampler::new(model, params, horizon, drop_prob);
+    let mut rng = StdRng::seed_from_u64(seed);
+    STACK_NAMES
+        .iter()
+        .map(|stack| {
+            let pattern = sampler.sample(&mut rng);
+            let inits: Vec<Value> = (0..n)
+                .map(|_| Value::from_bit(rng.random_range(0..2u8)))
+                .collect();
+            SessionSpec::new(
+                format!("{stack}{}", model.suffix()),
+                params,
+                pattern,
+                inits,
+                horizon,
+            )
+        })
+        .collect()
+}
+
+/// One session's decisions: `(spec index, rounds, values)`.
+type SessionDecisions = (usize, Vec<Option<u32>>, Vec<Option<Value>>);
+
+/// Outcomes keyed by submission index, independent of completion order.
+fn decisions_by_spec(report: &ServiceReport) -> Vec<SessionDecisions> {
+    let mut v: Vec<_> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.spec_index,
+                o.decision_rounds.clone(),
+                o.decision_values.clone(),
+            )
+        })
+        .collect();
+    v.sort_by_key(|e| e.0);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The multiplexed path is decision-equivalent to the lockstep
+    /// cluster: the service's built-in oracle pass agrees, and so does an
+    /// independent re-run of every session through `run_named_cluster`.
+    #[test]
+    fn multiplexed_sessions_match_the_lockstep_cluster(
+        n in 3usize..6,
+        model_idx in 0usize..4,
+        seed in any::<u64>(),
+        drop_prob in 0.0f64..0.8,
+    ) {
+        let t = (n - 1) / 2;
+        let model = FailureModel::by_name(MODEL_NAMES[model_idx]).unwrap();
+        let specs = mixed_specs(n, t, model, drop_prob, seed);
+        let config = ServiceConfig {
+            workers: 2,
+            capacity: 3, // smaller than the batch: admission must recycle slots
+            oracle_stride: Some(1),
+            ..Default::default()
+        };
+        let report = run_service(&specs, &config).unwrap();
+        prop_assert_eq!(report.admitted, specs.len());
+        prop_assert_eq!(report.outcomes.len(), specs.len());
+        prop_assert_eq!(report.oracle_checked, specs.len());
+        prop_assert_eq!(report.oracle_mismatches, 0);
+
+        for outcome in &report.outcomes {
+            let spec = &specs[outcome.spec_index];
+            let stack = NamedStack::by_name(&spec.stack, spec.params).unwrap();
+            let oracle =
+                run_named_cluster(&stack, &spec.pattern, &spec.inits, spec.horizon).unwrap();
+            prop_assert_eq!(&outcome.decision_rounds, &oracle.decision_rounds);
+            prop_assert_eq!(&outcome.decision_values, &oracle.decision_values);
+        }
+    }
+}
+
+/// A 48-session batch through a 4-slot table: admission defers but never
+/// drops, the table saturates, and every admitted session still decides.
+#[test]
+fn backpressure_admits_a_large_batch_through_a_tiny_table() {
+    let model = FailureModel::by_name("sending_omission").unwrap();
+    let mut specs = Vec::new();
+    for seed in 0..12u64 {
+        specs.extend(mixed_specs(3, 1, model, 0.3, seed));
+    }
+    let config = ServiceConfig {
+        workers: 2,
+        capacity: 4,
+        oracle_stride: Some(5),
+        ..Default::default()
+    };
+    let report = run_service(&specs, &config).unwrap();
+    assert_eq!(report.admitted, specs.len());
+    assert_eq!(report.outcomes.len(), specs.len());
+    assert!(report.deferrals > 0, "a 4-slot table must defer admissions");
+    assert_eq!(report.peak_in_flight, 4, "the table must saturate");
+    assert_eq!(
+        report.decided_sessions(),
+        specs.len(),
+        "every admitted session must decide"
+    );
+    assert_eq!(report.oracle_mismatches, 0);
+}
+
+/// The seeded `--load` mix is a smoke of the whole CLI path: every
+/// admitted session decides, the sampled oracle subset is clean, and the
+/// same seed reproduces the same decision vectors despite scheduling
+/// nondeterminism.
+#[test]
+fn seeded_load_smoke_decides_every_admitted_session() {
+    let config = LoadConfig {
+        sessions: 96,
+        capacity: 24,
+        workers: 2,
+        oracle_stride: 7,
+        ..LoadConfig::default()
+    };
+    let (summary, _) = service_cli::run_load(&config).unwrap();
+    let report = &summary.report;
+    assert_eq!(report.admitted, config.sessions);
+    assert_eq!(report.decided_sessions(), config.sessions);
+    assert!(report.oracle_checked > 0);
+    assert_eq!(report.oracle_mismatches, 0);
+    assert!(summary.decisions_per_sec > 0.0);
+
+    let (again, _) = service_cli::run_load(&config).unwrap();
+    assert_eq!(decisions_by_spec(report), decisions_by_spec(&again.report));
+}

@@ -1,0 +1,106 @@
+//! Statistical-checker throughput: Monte Carlo trials/sec as `n` grows.
+//!
+//! Not a paper table — this tracks the engineering cost of the `eba-stat`
+//! estimator itself:
+//!
+//! * sequential trial throughput at the cross-validation size (3, 1) and
+//!   at the battery row (16, 4), where exhaustive checking is out of
+//!   reach and the estimator is the only verdict;
+//! * multi-core sharded throughput at (16, 4) over the resolved worker
+//!   count, exercising the deterministic block scheduler;
+//! * the sampling-scheme mixtures (uniform / stratified / importance),
+//!   whose per-trial cost should be indistinguishable — a regression
+//!   here means stratum selection leaked into the hot loop.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_core::prelude::*;
+use eba_sim::prelude::*;
+use eba_stat::prelude::*;
+
+const TRIALS: u64 = 2_048;
+
+fn plan_for(stack: &NamedStack, scheme: SampleScheme) -> TrialPlan {
+    let mut plan = TrialPlan::new(TRIALS, stack.params().default_horizon());
+    plan.scheme = scheme;
+    plan
+}
+
+fn bench_trial_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stat_trials_sequential");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [3usize, 8, 16] {
+        let t = (n - 1) / 4;
+        let params = Params::new(n, t.max(1)).unwrap();
+        let stack = NamedStack::by_name("E_basic/P_basic", params).unwrap();
+        let plan = plan_for(&stack, SampleScheme::Stratified);
+        group.throughput(criterion::Throughput::Elements(TRIALS));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let est = estimate(black_box(&stack), &plan, Parallelism::Sequential).unwrap();
+                black_box(est.violations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stat_trials_sharded_n16");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let params = Params::new(16, 4).unwrap();
+    let stack = NamedStack::by_name("E_basic/P_basic", params).unwrap();
+    let plan = plan_for(&stack, SampleScheme::Stratified);
+    group.throughput(criterion::Throughput::Elements(TRIALS));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let est = estimate(black_box(&stack), &plan, Parallelism::Fixed(w)).unwrap();
+                black_box(est.violations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stat_scheme_cost_n8");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let params = Params::new(8, 2).unwrap();
+    let stack = NamedStack::by_name("E_basic/P_basic", params).unwrap();
+    group.throughput(criterion::Throughput::Elements(TRIALS));
+    for scheme in [
+        SampleScheme::Uniform,
+        SampleScheme::Stratified,
+        SampleScheme::Importance,
+    ] {
+        let plan = plan_for(&stack, scheme);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, _| {
+                b.iter(|| {
+                    let est = estimate(black_box(&stack), &plan, Parallelism::Sequential).unwrap();
+                    black_box(est.trials)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trial_throughput,
+    bench_sharded_throughput,
+    bench_sampling_schemes
+);
+criterion_main!(benches);

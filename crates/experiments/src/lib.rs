@@ -64,6 +64,7 @@ pub mod e6_latency_curves;
 pub mod e7_implements;
 pub mod e8_bias_counterexample;
 pub mod e9_ck_onset;
+pub mod estimate_cli;
 pub mod explain;
 pub mod fuzz_cli;
 pub mod model_battery;

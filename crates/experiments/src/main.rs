@@ -6,6 +6,8 @@
 //!        `cargo run --release -p eba-experiments -- --model <model> [--n N] [--t T] [--bench-json <path>] [--explain]`
 //!        `cargo run --release -p eba-experiments -- --corpus <dir>`
 //!        `cargo run --release -p eba-experiments -- --fuzz --stack <name> [--model <model>] [--n N] [--t T] [--fuzz-seed S] [--fuzz-iters K] [--corpus <dir>] [--fuzz-out <path>]`
+//!        `cargo run --release -p eba-experiments -- --estimate --stack <name> [--model <model>] [--n N] [--t T] [--trials K] [--confidence C] [--strata SCHEME] [--seed S] [--horizon H] [--workers W] [--self-check] [--estimate-out <dir>] [--bench-json <path>]`
+//!        `cargo run --release -p eba-experiments -- --estimate --corpus <dir> [--trials K] [--confidence C] [--strata SCHEME] [--seed S] [--workers W]`
 //!        `cargo run --release -p eba-experiments -- --load [--sessions K] [--capacity C] [--workers W] [--seed S] [--n N] [--t T] [--bench-json <path>]`
 //!        `cargo run --release -p eba-experiments -- --serve <dir> [--capacity C] [--workers W]`
 //!
@@ -32,6 +34,15 @@
 //! default seed `0xEBA`, 2000 mutants), seeding from matching `--corpus`
 //! scenarios when given, and writes the shrunk, oracle-confirmed `.eba`
 //! repro to `--fuzz-out`.
+//! `--estimate` runs the Monte Carlo statistical model checker on the
+//! selected stack (or on every scenario of `--corpus <dir>`): seeded
+//! i.i.d. trials from the `--strata` adversary mixture (`uniform`,
+//! `stratified`, `importance`), reported as a violation-probability
+//! estimate with Wilson/Clopper–Pearson intervals at `--confidence`.
+//! `--self-check` cross-validates the interval against the exact mixture
+//! probability (small instances only); `--estimate-out <dir>` exports
+//! violating samples as `.eba` repros; `--bench-json <path>` writes the
+//! `eba-bench-v1` `stat_estimate` document (`BENCH_stat.json` in CI).
 //! `--load` pushes a deterministic seeded session mix (all stacks × all
 //! failure models, default 4096 sessions at capacity 1024) through the
 //! async multiplexed consensus service and prints throughput; with
@@ -132,6 +143,92 @@ fn main() {
             })
         })
     };
+
+    if args.iter().any(|a| a == "--estimate") {
+        let defaults = ex::estimate_cli::EstimateCliConfig::default();
+        let confidence = flag_value(&args, "--confidence").map_or(defaults.confidence, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --confidence expects a number in (0, 1), got {v:?}");
+                std::process::exit(2);
+            })
+        });
+        let scheme = flag_value(&args, "--strata").map_or(defaults.scheme, |v| {
+            eba_stat::plan::SampleScheme::by_name(&v).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        });
+        let config = ex::estimate_cli::EstimateCliConfig {
+            stack: String::new(), // filled below in single-stack mode
+            n: parse_num("--n", defaults.n as u64) as usize,
+            t: parse_num("--t", defaults.t as u64) as usize,
+            trials: parse_num("--trials", defaults.trials),
+            seed: parse_num("--seed", defaults.seed),
+            confidence,
+            scheme,
+            horizon: flag_value(&args, "--horizon").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --horizon expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                })
+            }),
+            workers: parse_num("--workers", defaults.workers as u64) as usize,
+            self_check: args.iter().any(|a| a == "--self-check"),
+            out: flag_value(&args, "--estimate-out").map(std::path::PathBuf::from),
+        };
+        if let Some(dir) = corpus {
+            match ex::estimate_cli::run_corpus(std::path::Path::new(&dir), &config) {
+                Ok(table) => println!("{table}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        let Some(stack) = stack else {
+            eprintln!("error: --estimate requires --stack or --corpus");
+            std::process::exit(2);
+        };
+        let qualified = match &model {
+            Some(model) if stack.contains('@') => {
+                eprintln!(
+                    "error: --stack {stack} is already model-qualified; \
+                     drop --model {model} or the @qualifier"
+                );
+                std::process::exit(2);
+            }
+            Some(model) => format!("{stack}@{model}"),
+            None => stack,
+        };
+        let config = ex::estimate_cli::EstimateCliConfig {
+            stack: qualified,
+            ..config
+        };
+        match ex::estimate_cli::run(&config) {
+            Ok(report) => {
+                println!("{}", report.text);
+                if let Some(sc) = &report.self_check {
+                    if !sc.within {
+                        eprintln!("error: self-check failed: estimate interval misses the exact probability");
+                        std::process::exit(1);
+                    }
+                }
+                if let Some(path) = bench_json {
+                    if let Err(e) = ex::estimate_cli::write_json(&path, &report) {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote stat estimate record to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--load") {
         let defaults = ex::service_cli::LoadConfig::default();

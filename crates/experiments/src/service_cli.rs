@@ -140,6 +140,7 @@ fn summary_table(title: &str, caption: &str, summary: &ServiceRunSummary) -> Tab
             "frames dropped",
             "sessions/s",
             "decisions/s",
+            "p50/p90/p99 ms",
             "oracle",
         ],
     );
@@ -152,6 +153,10 @@ fn summary_table(title: &str, caption: &str, summary: &ServiceRunSummary) -> Tab
             report.oracle_checked
         )
     };
+    let latency = report.latency_percentiles().map_or_else(
+        || "—".to_string(),
+        |(p50, p90, p99)| format!("{:.2}/{:.2}/{:.2}", p50 * 1e3, p90 * 1e3, p99 * 1e3),
+    );
     table.push(vec![
         report.outcomes.len().to_string(),
         report.decided_sessions().to_string(),
@@ -161,6 +166,7 @@ fn summary_table(title: &str, caption: &str, summary: &ServiceRunSummary) -> Tab
         traffic.dropped().to_string(),
         format!("{:.0}", summary.sessions_per_sec),
         format!("{:.0}", summary.decisions_per_sec),
+        latency,
         oracle,
     ]);
     table
@@ -248,9 +254,11 @@ pub fn render_json(config: &LoadConfig, summary: &ServiceRunSummary) -> String {
         "  \"n\": {},\n  \"t\": {},\n  \"seed\": {},\n  \"sessions\": {},\n",
         config.n, config.t, config.seed, config.sessions
     ));
+    // `workers` is the executor's *resolved* count from the report — a
+    // defaulted `--workers` (config 0) used to render here as 0.
     out.push_str(&format!(
         "  \"capacity\": {},\n  \"workers\": {},\n  \"drop_prob\": {},\n",
-        config.capacity, config.workers, config.drop_prob
+        config.capacity, report.workers, config.drop_prob
     ));
     out.push_str(&format!(
         "  \"service_seconds\": {:.3},\n  \"sessions_per_sec\": {:.1},\n  \"decisions_per_sec\": {:.1},\n",
@@ -273,6 +281,12 @@ pub fn render_json(config: &LoadConfig, summary: &ServiceRunSummary) -> String {
         "  \"oracle\": {{ \"checked\": {}, \"mismatches\": {} }},\n",
         report.oracle_checked, report.oracle_mismatches
     ));
+    match report.latency_percentiles() {
+        Some((p50, p90, p99)) => out.push_str(&format!(
+            "  \"latency_seconds\": {{ \"p50\": {p50:.6}, \"p90\": {p90:.6}, \"p99\": {p99:.6} }},\n"
+        )),
+        None => out.push_str("  \"latency_seconds\": null,\n"),
+    }
     out.push_str(&format!("  \"rounds_to_decide\": [{histogram}]\n"));
     out.push_str("}\n");
     out
@@ -344,8 +358,29 @@ mod tests {
         assert!(doc.contains("\"sessions_per_sec\""));
         assert!(doc.contains("\"decisions_per_sec\""));
         assert!(doc.contains("\"rounds_to_decide\""));
+        assert!(doc.contains("\"latency_seconds\": { \"p50\": "));
+        assert!(doc.contains("\"workers\": 2"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn defaulted_workers_render_as_the_resolved_count() {
+        // The regression: `--workers` left at its 0 default used to be
+        // echoed verbatim into the JSON as `"workers": 0`.
+        let config = LoadConfig {
+            workers: 0,
+            ..tiny_config()
+        };
+        let (summary, _) = run_load(&config).unwrap();
+        assert!(summary.report.workers > 0);
+        let doc = render_json(&config, &summary);
+        assert!(!doc.contains("\"workers\": 0"), "{doc}");
+        assert!(doc.contains(&format!("\"workers\": {}", summary.report.workers)));
+        // Session wall times were measured.
+        assert!(summary.report.outcomes.iter().all(|o| o.wall_seconds > 0.0));
+        let (p50, p90, p99) = summary.report.latency_percentiles().unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct SessionOutcome {
     pub frames_sent: u64,
     /// Frames the session's failure pattern suppressed.
     pub frames_dropped: u64,
+    /// Wall-clock seconds from session start to graceful teardown —
+    /// includes time spent parked on the barrier behind slower cohort
+    /// members, so the percentiles over these reflect observed service
+    /// latency, not isolated session cost.
+    pub wall_seconds: f64,
 }
 
 /// The aggregate outcome of a [`run_service`](crate::run_service) batch.
@@ -60,6 +65,10 @@ pub struct ServiceReport {
     /// Cross-checked sessions whose decision vector disagreed with the
     /// oracle (must be zero; nonzero means a runtime bug).
     pub oracle_mismatches: usize,
+    /// Worker threads the executor actually ran on — the *resolved*
+    /// count, not the configured one (a `workers: 0` config resolves to
+    /// the machine's available parallelism).
+    pub workers: usize,
 }
 
 impl ServiceReport {
@@ -97,6 +106,23 @@ impl ServiceReport {
         }
         total
     }
+
+    /// Session wall-time percentiles `(p50, p90, p99)` in seconds, by
+    /// the nearest-rank method over all outcomes. `None` when no session
+    /// completed.
+    pub fn latency_percentiles(&self) -> Option<(f64, f64, f64)> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        let mut walls: Vec<f64> = self.outcomes.iter().map(|o| o.wall_seconds).collect();
+        walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+        let rank = |p: f64| -> f64 {
+            // Nearest-rank: the ⌈p·n⌉-th smallest value (1-indexed).
+            let k = (p * walls.len() as f64).ceil() as usize;
+            walls[k.clamp(1, walls.len()) - 1]
+        };
+        Some((rank(0.50), rank(0.90), rank(0.99)))
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +140,7 @@ mod tests {
             rounds: 4,
             frames_sent: 0,
             frames_dropped: 0,
+            wall_seconds: 0.0,
         }
     }
 
@@ -131,6 +158,34 @@ mod tests {
         };
         assert_eq!(report.decided_sessions(), 3);
         assert_eq!(report.rounds_to_decide_histogram(), vec![0, 0, 2, 1]);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut outcomes: Vec<SessionOutcome> = (1..=100)
+            .map(|k| SessionOutcome {
+                wall_seconds: k as f64 / 100.0,
+                ..outcome(k, Some(2))
+            })
+            .collect();
+        // Shuffled order must not matter.
+        outcomes.reverse();
+        let report = ServiceReport {
+            outcomes,
+            ..Default::default()
+        };
+        let (p50, p90, p99) = report.latency_percentiles().unwrap();
+        assert_eq!((p50, p90, p99), (0.50, 0.90, 0.99));
+        assert!(ServiceReport::default().latency_percentiles().is_none());
+        // A single outcome is every percentile.
+        let one = ServiceReport {
+            outcomes: vec![SessionOutcome {
+                wall_seconds: 0.25,
+                ..outcome(0, None)
+            }],
+            ..Default::default()
+        };
+        assert_eq!(one.latency_percentiles().unwrap(), (0.25, 0.25, 0.25));
     }
 
     #[test]

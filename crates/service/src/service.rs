@@ -155,6 +155,7 @@ async fn drive_session(
     router: MailboxSender<Envelope>,
     completions: MailboxSender<SessionOutcome>,
 ) {
+    let t0 = std::time::Instant::now();
     let (reply_tx, mut reply_rx) = mailbox::<(RoundFrames, RoundTraffic)>(1);
     let mut frames_sent = 0u64;
     let mut frames_dropped = 0u64;
@@ -191,6 +192,7 @@ async fn drive_session(
         rounds: engine.round(),
         frames_sent,
         frames_dropped,
+        wall_seconds: t0.elapsed().as_secs_f64(),
     };
     let _ = completions.send(outcome).await;
 }
@@ -286,6 +288,7 @@ pub fn run_service(
     };
     let t0 = std::time::Instant::now();
     let mut report = block_on(driver)?;
+    report.workers = workers;
 
     // Graceful teardown: hang up the envelope senders so the routers
     // drain and return their traffic, then merge it.

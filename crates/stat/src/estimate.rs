@@ -1,0 +1,724 @@
+//! The Monte Carlo estimator: i.i.d. sampled runs, streamed spec
+//! verdicts, deterministic block-sharded parallelism.
+//!
+//! Each trial draws a stratum from the plan's mixture, a faulty set, a
+//! failure pattern (via [`AdversarySampler`] — promoted here from a test
+//! helper to the first-class sampling backend), and uniform initial
+//! preferences; executes the stack one round at a time through the shared
+//! [`step_round`] transition; and streams the finished trajectory as an
+//! [`EnumRun`] into a [`RunSink`] — the same streaming machinery the
+//! exhaustive enumerators use, so a trial never outlives its verdict and
+//! memory stays flat at any trial count or `n`.
+//!
+//! **Bit-reproducibility.** Trials are partitioned into fixed-size blocks
+//! of [`TRIAL_BLOCK`]; block `b` runs on its own `StdRng` seeded
+//! deterministically from `(plan.seed, b)`. Workers claim blocks from an
+//! atomic counter, but results are merged *by block index*, so the
+//! estimate — counts, per-stratum tallies, and exported repro samples —
+//! is identical for any worker count. Only the wall-clock differs.
+//!
+//! **Rare-event confirmation.** Violating samples are deduplicated by a
+//! novelty signature (nonfaulty footprint, decision vector, violated
+//! clause — the fuzzer's coverage notion) and the survivors are re-judged
+//! through the epistemic layer: a one-run interpreted system per sample,
+//! checked with [`check_spec`] via [`EngineOracle`], so every exported
+//! repro carries an engine-confirmed verdict, not just the trace
+//! predicate's word.
+//!
+//! [`AdversarySampler`]: eba_core::prelude::AdversarySampler
+//! [`step_round`]: eba_core::exchange::step_round
+//! [`check_spec`]: eba_epistemic::spec::check_spec
+//! [`EngineOracle`]: eba_epistemic::spec::EngineOracle
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use eba_core::exchange::step_round;
+use eba_core::failures::random_faulty_set;
+use eba_core::prelude::*;
+use eba_epistemic::spec::{check_spec, EngineOracle};
+use eba_sim::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::interval::{clopper_pearson, wilson, Interval};
+use crate::plan::{Stratum, TrialPlan};
+
+/// Trials per deterministic block — the unit of reproducible work
+/// distribution. Small enough that short runs still parallelize, large
+/// enough that the per-block overhead (an RNG seed, a merge slot) is
+/// noise.
+pub const TRIAL_BLOCK: u64 = 1024;
+
+/// Exported violating samples are capped at this many distinct novelty
+/// signatures per estimate.
+pub const MAX_REPROS: usize = 8;
+
+/// The violated-clause names, in check priority order. Identical to the
+/// fuzzer's [`violation_kind`] vocabulary
+/// so statistical repros and fuzz repros share one taxonomy.
+pub const VIOLATION_KINDS: [&str; 4] = ["unique_decision", "agreement", "validity", "termination"];
+
+/// Streams one concrete case — executed round by round through
+/// [`step_round`] — into `sink` as an [`EnumRun`].
+///
+/// This is the statistical checker's producer half: the consumer is any
+/// [`RunSink`], e.g. the spec-judging sink inside [`estimate`] or an
+/// interning `RunStore` in a cross-validation test.
+///
+/// # Errors
+///
+/// Propagates sink errors; returns [`EbaError::InvalidInput`] when
+/// `inits` has the wrong length.
+pub fn stream_case_into<E, P, S>(
+    ctx: &Context<E, P>,
+    pattern: &FailurePattern,
+    inits: &[Value],
+    horizon: u32,
+    sink: &mut S,
+) -> Result<(), EbaError>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+    S: RunSink<E>,
+{
+    let ex = ctx.exchange();
+    let proto = ctx.protocol();
+    let n = ctx.params().n();
+    if inits.len() != n {
+        return Err(EbaError::InvalidInput(format!(
+            "{} initial preferences for n = {n}",
+            inits.len()
+        )));
+    }
+    let mut states: Vec<E::State> = ctx
+        .params()
+        .agents()
+        .map(|a| ex.initial_state(a, inits[a.index()]))
+        .collect();
+    let mut run_states = Vec::with_capacity(horizon as usize + 1);
+    let mut run_actions = Vec::with_capacity(horizon as usize);
+    run_states.push(states.clone());
+    for m in 0..horizon {
+        let actions: Vec<Action> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| proto.act(AgentId::new(i), s))
+            .collect();
+        states = step_round(ex, &states, &actions, |from, to| {
+            pattern.delivers(m, from, to)
+        });
+        run_actions.push(actions);
+        run_states.push(states.clone());
+    }
+    sink.accept(EnumRun {
+        nonfaulty: pattern.nonfaulty(),
+        inits: inits.to_vec(),
+        states: run_states,
+        actions: run_actions,
+    })
+}
+
+/// The first violated EBA clause of a finished run, or `None` when the
+/// run satisfies the spec: Unique Decision over the whole trajectory,
+/// then Agreement, strong Validity, and Termination-of-nonfaulty at the
+/// horizon — the same clauses (and verdicts) as the exhaustive checker's
+/// [`check_eba`], read off the trajectory.
+pub fn run_violation<E: InformationExchange>(ex: &E, run: &EnumRun<E>) -> Option<&'static str> {
+    // Unique Decision: once decided, an agent never changes or clears.
+    for agent in 0..run.inits.len() {
+        let mut seen: Option<Value> = None;
+        for round in &run.states {
+            let now = ex.decided(&round[agent]);
+            match (seen, now) {
+                (Some(v), other) if other != Some(v) => return Some(VIOLATION_KINDS[0]),
+                (None, Some(v)) => seen = Some(v),
+                _ => {}
+            }
+        }
+    }
+    let final_states = run.states.last().expect("nonempty trajectory");
+    let decided: Vec<Option<Value>> = final_states.iter().map(|s| ex.decided(s)).collect();
+    let nonfaulty_values: Vec<Value> = run
+        .nonfaulty
+        .iter()
+        .filter_map(|a| decided[a.index()])
+        .collect();
+    if !nonfaulty_values.windows(2).all(|w| w[0] == w[1]) {
+        return Some(VIOLATION_KINDS[1]);
+    }
+    if !decided.iter().flatten().all(|v| run.inits.contains(v)) {
+        return Some(VIOLATION_KINDS[2]);
+    }
+    if !run.nonfaulty.iter().all(|a| decided[a.index()].is_some()) {
+        return Some(VIOLATION_KINDS[3]);
+    }
+    None
+}
+
+/// A [`RunSink`] that judges each run against the EBA spec as it streams
+/// past, keeping only the verdict.
+struct SpecJudge<'a, E: InformationExchange> {
+    ex: &'a E,
+    verdict: Option<&'static str>,
+}
+
+impl<E: InformationExchange> RunSink<E> for SpecJudge<'_, E> {
+    fn accept(&mut self, run: EnumRun<E>) -> Result<(), EbaError> {
+        self.verdict = run_violation(self.ex, &run);
+        Ok(())
+    }
+}
+
+/// Executes one concrete case and returns its violated clause, if any.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] when `inits` has the wrong length.
+pub fn judge_case<E, P>(
+    ctx: &Context<E, P>,
+    pattern: &FailurePattern,
+    inits: &[Value],
+    horizon: u32,
+) -> Result<Option<&'static str>, EbaError>
+where
+    E: InformationExchange,
+    P: ActionProtocol<E>,
+{
+    let mut judge = SpecJudge {
+        ex: ctx.exchange(),
+        verdict: None,
+    };
+    stream_case_into(ctx, pattern, inits, horizon, &mut judge)?;
+    Ok(judge.verdict)
+}
+
+/// Per-stratum trial/violation tallies of a finished estimate.
+#[derive(Clone, Debug)]
+pub struct StratumCount {
+    /// The stratum the counts belong to.
+    pub stratum: Stratum,
+    /// Trials drawn from this stratum.
+    pub trials: u64,
+    /// Violating trials among them.
+    pub violations: u64,
+}
+
+/// One exported violating sample: a concrete `.eba`-ready repro plus its
+/// engine confirmation.
+#[derive(Clone, Debug)]
+pub struct ViolatingSample {
+    /// The sampled failure pattern.
+    pub pattern: FailurePattern,
+    /// The sampled initial preferences.
+    pub inits: Vec<Value>,
+    /// The run horizon.
+    pub horizon: u32,
+    /// The violated clause the trace predicate reported.
+    pub kind: &'static str,
+    /// Whether the epistemic layer (`check_spec` over the one-run
+    /// interpreted system) confirmed a spec violation for this sample.
+    pub engine_confirmed: bool,
+}
+
+/// The outcome of a statistical check: counts, intervals, per-stratum
+/// tallies, and the exported violating samples.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Model-qualified stack name.
+    pub stack: String,
+    /// Number of agents.
+    pub n: usize,
+    /// Fault tolerance.
+    pub t: usize,
+    /// Run horizon in rounds.
+    pub horizon: u32,
+    /// The plan's sampling scheme name.
+    pub scheme: &'static str,
+    /// Root seed the estimate is reproducible from.
+    pub seed: u64,
+    /// Confidence level of both intervals.
+    pub confidence: f64,
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials violating the EBA spec.
+    pub violations: u64,
+    /// Wilson score interval for the violation probability.
+    pub wilson: Interval,
+    /// Clopper–Pearson (exact) interval for the violation probability.
+    pub clopper_pearson: Interval,
+    /// Per-stratum tallies, in mixture order.
+    pub strata: Vec<StratumCount>,
+    /// Violation counts by clause, aligned with [`VIOLATION_KINDS`].
+    pub kind_counts: [u64; 4],
+    /// Deduplicated highest-novelty violating samples (≤ [`MAX_REPROS`]).
+    pub repros: Vec<ViolatingSample>,
+    /// Worker threads the trials actually ran on.
+    pub workers: usize,
+    /// Wall-clock seconds of the trial phase.
+    pub elapsed_seconds: f64,
+}
+
+impl Estimate {
+    /// The point estimate `violations / trials`.
+    pub fn violation_rate(&self) -> f64 {
+        self.violations as f64 / self.trials as f64
+    }
+
+    /// The point estimate of EBA validity, `1 − violation_rate`.
+    pub fn validity(&self) -> f64 {
+        1.0 - self.violation_rate()
+    }
+
+    /// The validity interval (the Wilson bracket, complemented).
+    pub fn validity_interval(&self) -> Interval {
+        self.wilson.complement()
+    }
+
+    /// Trials per second of the trial phase.
+    pub fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.elapsed_seconds.max(f64::EPSILON)
+    }
+}
+
+/// A violating trial captured inside a block, pre-merge.
+struct Candidate {
+    signature: (u128, Vec<u8>, u8),
+    pattern: FailurePattern,
+    inits: Vec<Value>,
+    kind_idx: u8,
+}
+
+/// One block's deterministic tallies.
+struct BlockResult {
+    violations: u64,
+    stratum_trials: Vec<u64>,
+    stratum_violations: Vec<u64>,
+    kind_counts: [u64; 4],
+    candidates: Vec<Candidate>,
+}
+
+/// At most this many candidates are kept per block; the post-merge
+/// novelty filter discards duplicates anyway, and a violation-dense block
+/// must not hoard patterns.
+const BLOCK_CANDIDATES: usize = 2;
+
+fn kind_index(kind: &'static str) -> u8 {
+    VIOLATION_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .expect("registered kind") as u8
+}
+
+fn mix_seed(seed: u64, block: u64) -> u64 {
+    // Distinct SplitMix64 stream positions per block; `StdRng` then
+    // expands each through its own SplitMix64 state initialization.
+    seed ^ (block.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+struct EstimateVisitor<'a> {
+    plan: &'a TrialPlan,
+    strata: &'a [Stratum],
+    parallelism: Parallelism,
+}
+
+impl EstimateVisitor<'_> {
+    /// Runs one block of trials with its own deterministically seeded RNG.
+    fn run_block<E, P>(
+        &self,
+        ctx: &Context<E, P>,
+        block: u64,
+        trials: u64,
+    ) -> Result<BlockResult, EbaError>
+    where
+        E: InformationExchange,
+        P: ActionProtocol<E>,
+    {
+        let params = ctx.params();
+        let n = params.n();
+        let model = ctx.model();
+        let samplers: Vec<AdversarySampler> = self
+            .strata
+            .iter()
+            .map(|s| AdversarySampler::new(model, params, self.plan.horizon, s.drop_prob))
+            .collect();
+        let cumulative: Vec<f64> = self
+            .strata
+            .iter()
+            .scan(0.0, |acc, s| {
+                *acc += s.weight;
+                Some(*acc)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.plan.seed, block));
+        let mut result = BlockResult {
+            violations: 0,
+            stratum_trials: vec![0; self.strata.len()],
+            stratum_violations: vec![0; self.strata.len()],
+            kind_counts: [0; 4],
+            candidates: Vec::new(),
+        };
+        for _ in 0..trials {
+            let r: f64 = rng.random();
+            let s = cumulative.iter().position(|&c| r < c).unwrap_or(0);
+            let faulty = if self.strata[s].faulty == 0 {
+                AgentSet::empty()
+            } else {
+                random_faulty_set(params, self.strata[s].faulty, &mut rng)
+            };
+            let pattern = samplers[s].sample_with_faulty(faulty, &mut rng);
+            let inits: Vec<Value> = (0..n)
+                .map(|_| Value::from_bit(rng.random_range(0..2u8)))
+                .collect();
+            result.stratum_trials[s] += 1;
+            if let Some(kind) = judge_case(ctx, &pattern, &inits, self.plan.horizon)? {
+                result.violations += 1;
+                result.stratum_violations[s] += 1;
+                let kind_idx = kind_index(kind);
+                result.kind_counts[kind_idx as usize] += 1;
+                if result.candidates.len() < BLOCK_CANDIDATES {
+                    let ex = ctx.exchange();
+                    let mut judge = SpecJudge { ex, verdict: None };
+                    // Re-derive the decision vector for the signature by
+                    // streaming the case once more (violations are rare;
+                    // clarity over micro-optimization here).
+                    let mut decisions = vec![2u8; n];
+                    let mut capture = |run: EnumRun<E>| -> Result<(), EbaError> {
+                        let last = run.states.last().expect("nonempty");
+                        for (i, s) in last.iter().enumerate() {
+                            decisions[i] = match ex.decided(s) {
+                                Some(Value::Zero) => 0,
+                                Some(Value::One) => 1,
+                                None => 2,
+                            };
+                        }
+                        judge.accept(run)
+                    };
+                    stream_case_into(ctx, &pattern, &inits, self.plan.horizon, &mut capture)?;
+                    let bits = pattern
+                        .nonfaulty()
+                        .iter()
+                        .fold(0u128, |acc, a| acc | (1 << a.index()));
+                    result.candidates.push(Candidate {
+                        signature: (bits, decisions, kind_idx),
+                        pattern,
+                        inits,
+                        kind_idx,
+                    });
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+impl StackVisitor for EstimateVisitor<'_> {
+    type Output = Result<Estimate, EbaError>;
+
+    fn visit<E, P>(self, ctx: &Context<E, P>) -> Result<Estimate, EbaError>
+    where
+        E: InformationExchange + Clone + Sync + 'static,
+        P: ActionProtocol<E> + Clone + Sync + 'static,
+    {
+        let blocks = self.plan.trials.div_ceil(TRIAL_BLOCK);
+        let workers = self
+            .parallelism
+            .worker_count()
+            .min(usize::try_from(blocks).unwrap_or(usize::MAX))
+            .max(1);
+
+        let next = AtomicU64::new(0);
+        let slots: Mutex<Vec<Option<BlockResult>>> =
+            Mutex::new((0..blocks).map(|_| None).collect());
+        let failure: Mutex<Option<EbaError>> = Mutex::new(None);
+
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let block = next.fetch_add(1, Ordering::Relaxed);
+                    if block >= blocks {
+                        return;
+                    }
+                    let trials = if block + 1 == blocks {
+                        self.plan.trials - block * TRIAL_BLOCK
+                    } else {
+                        TRIAL_BLOCK
+                    };
+                    match self.run_block(ctx, block, trials) {
+                        Ok(result) => {
+                            slots.lock().expect("no poisoned block slots")[block as usize] =
+                                Some(result);
+                        }
+                        Err(e) => {
+                            *failure.lock().expect("no poisoned failure slot") = Some(e);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed_seconds = t0.elapsed().as_secs_f64();
+        if let Some(e) = failure.into_inner().expect("no poisoned failure slot") {
+            return Err(e);
+        }
+
+        // Deterministic merge: fold the blocks in index order, regardless
+        // of which worker produced which.
+        let mut violations = 0u64;
+        let mut stratum_trials = vec![0u64; self.strata.len()];
+        let mut stratum_violations = vec![0u64; self.strata.len()];
+        let mut kind_counts = [0u64; 4];
+        let mut seen: Vec<(u128, Vec<u8>, u8)> = Vec::new();
+        let mut repros: Vec<ViolatingSample> = Vec::new();
+        for block in slots.into_inner().expect("no poisoned block slots") {
+            let block = block.ok_or_else(|| {
+                EbaError::InvalidInput("a trial block was abandoned by a failed worker".into())
+            })?;
+            violations += block.violations;
+            for (acc, v) in stratum_trials.iter_mut().zip(&block.stratum_trials) {
+                *acc += v;
+            }
+            for (acc, v) in stratum_violations.iter_mut().zip(&block.stratum_violations) {
+                *acc += v;
+            }
+            for (acc, v) in kind_counts.iter_mut().zip(&block.kind_counts) {
+                *acc += v;
+            }
+            for cand in block.candidates {
+                if repros.len() >= MAX_REPROS || seen.contains(&cand.signature) {
+                    continue;
+                }
+                seen.push(cand.signature);
+                repros.push(ViolatingSample {
+                    pattern: cand.pattern,
+                    inits: cand.inits,
+                    horizon: self.plan.horizon,
+                    kind: VIOLATION_KINDS[cand.kind_idx as usize],
+                    engine_confirmed: false,
+                });
+            }
+        }
+
+        // Confirm the survivors through the epistemic layer: one-run
+        // interpreted system, compiled spec query, oracle semantics.
+        let oracle = EngineOracle::new(ctx.clone());
+        for repro in &mut repros {
+            let case = FuzzCase {
+                pattern: repro.pattern.clone(),
+                inits: repro.inits.clone(),
+                horizon: repro.horizon,
+            };
+            let sys = oracle.system(&case)?;
+            repro.engine_confirmed = !check_spec(&sys).is_empty();
+        }
+
+        Ok(Estimate {
+            stack: ctx.qualified_name(),
+            n: ctx.params().n(),
+            t: ctx.params().t(),
+            horizon: self.plan.horizon,
+            scheme: self.plan.scheme.name(),
+            seed: self.plan.seed,
+            confidence: self.plan.confidence,
+            trials: self.plan.trials,
+            violations,
+            wilson: wilson(violations, self.plan.trials, self.plan.confidence),
+            clopper_pearson: clopper_pearson(violations, self.plan.trials, self.plan.confidence),
+            strata: self
+                .strata
+                .iter()
+                .zip(stratum_trials.iter().zip(&stratum_violations))
+                .map(|(stratum, (&trials, &violations))| StratumCount {
+                    stratum: *stratum,
+                    trials,
+                    violations,
+                })
+                .collect(),
+            kind_counts,
+            repros,
+            workers,
+            elapsed_seconds,
+        })
+    }
+}
+
+/// Runs `plan` against `stack` and returns the finished [`Estimate`].
+///
+/// The result is bit-identical for a fixed `(stack, plan)` across any
+/// `parallelism` setting; see the module docs for the block-seeding
+/// scheme that guarantees it.
+///
+/// # Errors
+///
+/// Returns [`EbaError::InvalidInput`] for an invalid plan (zero trials,
+/// bad confidence level) or when a sampled case fails to execute.
+pub fn estimate(
+    stack: &NamedStack,
+    plan: &TrialPlan,
+    parallelism: Parallelism,
+) -> Result<Estimate, EbaError> {
+    plan.validate()?;
+    let strata = plan.scheme.strata(stack.model(), stack.params().t());
+    stack.visit(EstimateVisitor {
+        plan,
+        strata: &strata,
+        parallelism,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SampleScheme;
+
+    fn plan(trials: u64, scheme: SampleScheme) -> TrialPlan {
+        TrialPlan {
+            trials,
+            seed: 0xEBA,
+            confidence: 0.95,
+            horizon: 4,
+            scheme,
+        }
+    }
+
+    #[test]
+    fn correct_stacks_estimate_zero_violations() {
+        let params = Params::new(3, 1).unwrap();
+        for name in ["E_min/P_min", "E_basic/P_basic", "E_fip/P_opt"] {
+            let stack = NamedStack::by_name(name, params).unwrap();
+            let est = estimate(
+                &stack,
+                &plan(2_000, SampleScheme::Uniform),
+                Parallelism::Sequential,
+            )
+            .unwrap();
+            assert_eq!(est.violations, 0, "{name}");
+            assert_eq!(est.wilson.lo, 0.0);
+            assert!(est.wilson.hi > 0.0, "an estimate is not a proof");
+            assert_eq!(est.validity(), 1.0);
+            assert!(est.repros.is_empty());
+            let total: u64 = est.strata.iter().map(|s| s.trials).sum();
+            assert_eq!(total, est.trials);
+        }
+    }
+
+    #[test]
+    fn the_naive_stack_is_caught_with_confirmed_repros() {
+        let params = Params::new(3, 1).unwrap();
+        let stack = NamedStack::by_name("E_naive/P_naive@general_omission", params).unwrap();
+        let est = estimate(
+            &stack,
+            &plan(2_000, SampleScheme::Importance),
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        assert!(est.violations > 0);
+        assert!(est.wilson.lo > 0.0);
+        assert!(est.clopper_pearson.contains(est.violation_rate()));
+        assert!(!est.repros.is_empty());
+        for repro in &est.repros {
+            assert!(repro.engine_confirmed, "{:?}", repro.kind);
+            assert_eq!(repro.kind, "agreement");
+        }
+        // The whisper bug needs a faulty agent: every violation lands in
+        // a k ≥ 1 stratum.
+        for s in &est.strata {
+            if s.stratum.faulty == 0 {
+                assert_eq!(s.violations, 0);
+            }
+        }
+        assert_eq!(est.kind_counts.iter().sum::<u64>(), est.violations);
+    }
+
+    #[test]
+    fn estimates_are_bit_reproducible_across_worker_counts() {
+        let params = Params::new(4, 1).unwrap();
+        let stack = NamedStack::by_name("E_naive/P_naive@sending_omission", params).unwrap();
+        let p = plan(4_096, SampleScheme::Stratified);
+        let base = estimate(&stack, &p, Parallelism::Sequential).unwrap();
+        for workers in [2usize, 3, 8] {
+            let other = estimate(&stack, &p, Parallelism::Fixed(workers)).unwrap();
+            assert_eq!(other.violations, base.violations, "workers = {workers}");
+            assert_eq!(other.kind_counts, base.kind_counts);
+            assert_eq!(other.repros.len(), base.repros.len());
+            for (a, b) in base.repros.iter().zip(&other.repros) {
+                assert_eq!(a.inits, b.inits);
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.pattern.nonfaulty(), b.pattern.nonfaulty());
+            }
+            for (a, b) in base.strata.iter().zip(&other.strata) {
+                assert_eq!(a.trials, b.trials);
+                assert_eq!(a.violations, b.violations);
+            }
+        }
+        // A different seed reshuffles the trial stream.
+        let mut reseeded = p;
+        reseeded.seed = 7;
+        let other = estimate(&stack, &reseeded, Parallelism::Sequential).unwrap();
+        let drift = base
+            .strata
+            .iter()
+            .zip(&other.strata)
+            .any(|(a, b)| a.trials != b.trials);
+        assert!(drift, "reseeding must move the per-stratum allocation");
+    }
+
+    #[test]
+    fn run_violation_matches_the_spec_on_a_known_whisper_case() {
+        // The introduction's counterexample: faulty agent 0 hides its
+        // zero for a round, then whispers it to agent 1 only — agents 1
+        // and 2 split at the time-2 deadline.
+        let params = Params::new(3, 1).unwrap();
+        let ctx = Context::naive(params).with_model(FailureModel::SendingOmission);
+        let mut pattern = FailurePattern::new_in(
+            FailureModel::SendingOmission,
+            params,
+            AgentSet::singleton(AgentId::new(0)).complement(3),
+        )
+        .unwrap();
+        for (m, to) in [(0, 1), (0, 2), (1, 2)] {
+            pattern
+                .drop_message(m, AgentId::new(0), AgentId::new(to))
+                .unwrap();
+        }
+        let inits = vec![Value::Zero, Value::One, Value::One];
+        let verdict = judge_case(&ctx, &pattern, &inits, 4).unwrap();
+        assert_eq!(verdict, Some("agreement"));
+        // And the same case is clean on a correct stack.
+        let ctx = Context::basic(params).with_model(FailureModel::SendingOmission);
+        assert_eq!(judge_case(&ctx, &pattern, &inits, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn streamed_trials_agree_with_the_scenario_runner() {
+        // The streaming executor must produce the exact trajectory the
+        // lockstep Scenario runner produces, for every stack.
+        let params = Params::new(3, 1).unwrap();
+        let faulty = AgentSet::singleton(AgentId::new(1));
+        let pattern = silent_pattern(params, faulty, 4).unwrap();
+        let inits = vec![Value::One, Value::Zero, Value::One];
+        let ctx = Context::basic(params);
+        let trace = Scenario::of(&ctx)
+            .pattern(pattern.clone())
+            .inits(&inits)
+            .horizon(4)
+            .run()
+            .unwrap();
+        let mut collected: Vec<EnumRun<BasicExchange>> = Vec::new();
+        stream_case_into(&ctx, &pattern, &inits, 4, &mut collected).unwrap();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].states, trace.states);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let params = Params::new(3, 1).unwrap();
+        let stack = NamedStack::by_name("E_min/P_min", params).unwrap();
+        let bad = TrialPlan {
+            trials: 0,
+            ..TrialPlan::new(1, 4)
+        };
+        assert!(estimate(&stack, &bad, Parallelism::Sequential).is_err());
+    }
+}

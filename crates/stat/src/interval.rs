@@ -1,0 +1,351 @@
+//! Binomial confidence intervals for the violation-probability estimate.
+//!
+//! Every trial of an [`Estimator`](crate::estimate) run is an independent
+//! Bernoulli draw from the plan's sampling mixture, so the violation count
+//! is exactly `Binomial(trials, p)` and the classical binomial intervals
+//! apply without approximation games:
+//!
+//! * [`wilson`] — the Wilson score interval, the recommended default: it
+//!   never leaves `[0, 1]`, behaves sanely at `p̂ ∈ {0, 1}`, and its
+//!   coverage error is `O(1/n)`;
+//! * [`clopper_pearson`] — the "exact" interval, inverting the binomial
+//!   tail through the regularized incomplete beta function; conservative
+//!   (coverage ≥ the nominal level at every `p`), so it always contains
+//!   the Wilson interval's information at a slightly wider bracket.
+//!
+//! The special functions (`ln Γ`, the continued-fraction incomplete beta,
+//! the normal quantile) are implemented here from their standard series —
+//! the workspace builds offline, so there is no statistics crate to lean
+//! on — and are cross-checked in the tests against closed forms (the
+//! `s = 0` Clopper–Pearson bound `1 − (α/2)^{1/n}`, symmetry of
+//! `I_x(a, a)`, the `z_{0.975}` constant).
+
+/// A two-sided confidence interval `[lo, hi] ⊆ [0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether `p` lies within the interval (inclusive).
+    pub fn contains(self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Half the interval width — the "± error bar" headline number.
+    pub fn half_width(self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// The complement interval `[1 − hi, 1 − lo]`: the validity bracket
+    /// corresponding to a violation-probability bracket.
+    #[must_use]
+    pub fn complement(self) -> Interval {
+        Interval {
+            lo: 1.0 - self.hi,
+            hi: 1.0 - self.lo,
+        }
+    }
+}
+
+/// The Wilson score interval for `successes` out of `trials` at the given
+/// two-sided `confidence` level.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `successes > trials`, or `confidence` is not
+/// within `(0, 1)`.
+pub fn wilson(successes: u64, trials: u64, confidence: f64) -> Interval {
+    assert!(trials > 0, "no trials, no interval");
+    assert!(successes <= trials, "{successes} successes in {trials}");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence {confidence} outside (0, 1)"
+    );
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // At p̂ ∈ {0, 1} the matching bound is analytically exact; pin it so
+    // floating-point residue cannot report e.g. lo = 7e-18 for zero
+    // observed violations.
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    Interval { lo, hi }
+}
+
+/// The Clopper–Pearson ("exact") interval for `successes` out of `trials`
+/// at the given two-sided `confidence` level.
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`wilson`].
+pub fn clopper_pearson(successes: u64, trials: u64, confidence: f64) -> Interval {
+    assert!(trials > 0, "no trials, no interval");
+    assert!(successes <= trials, "{successes} successes in {trials}");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence {confidence} outside (0, 1)"
+    );
+    let alpha = 1.0 - confidence;
+    let (s, n) = (successes as f64, trials as f64);
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        beta_quantile(alpha / 2.0, s, n - s + 1.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        beta_quantile(1.0 - alpha / 2.0, s + 1.0, n - s)
+    };
+    Interval { lo, hi }
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, `g = 7`, 9 terms —
+/// ~15 significant digits over the range used here).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0);
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1 − x) = π / sin(πx).
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The continued fraction of the incomplete beta function (modified
+/// Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    const EPS: f64 = 3e-15;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// The regularized incomplete beta function `I_x(a, b)` for `a, b > 0`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// The `p`-quantile of `Beta(a, b)` by bisection on the monotone CDF.
+fn beta_quantile(p: f64, a: f64, b: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if beta_inc(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// `erf(x)` (Abramowitz & Stegun 7.1.26, |error| ≤ 1.5 × 10⁻⁷) — only used
+/// to seed the quantile bisection, whose own tolerance dominates.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The standard normal CDF `Φ(x)`.
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`, by bisection.
+pub fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    let (mut lo, mut hi) = (-10.0f64, 10.0f64);
+    for _ in 0..100 {
+        let mid = (lo + hi) / 2.0;
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_hits_the_textbook_constants() {
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575_829).abs() < 1e-4);
+        assert!((normal_quantile(0.5)).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + normal_quantile(0.975)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_inc_matches_closed_forms() {
+        // I_x(1, 1) = x (uniform CDF).
+        for x in [0.1, 0.5, 0.9] {
+            assert!((beta_inc(1.0, 1.0, x) - x).abs() < 1e-10, "{x}");
+        }
+        // Symmetry: I_{1/2}(a, a) = 1/2.
+        for a in [0.5, 2.0, 7.0] {
+            assert!((beta_inc(a, a, 0.5) - 0.5).abs() < 1e-10, "{a}");
+        }
+        // I_x(1, b) = 1 − (1 − x)^b.
+        let x = 0.3;
+        let b = 4.0;
+        assert!((beta_inc(1.0, b, x) - (1.0 - (1.0 - x).powf(b))).abs() < 1e-10);
+        // Monotone in x.
+        assert!(beta_inc(3.0, 2.0, 0.2) < beta_inc(3.0, 2.0, 0.8));
+    }
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        let iv = wilson(10, 100, 0.95);
+        assert!(iv.contains(0.1));
+        assert!(iv.lo > 0.0 && iv.hi < 1.0);
+        // Known value (any standard implementation): [0.0552, 0.1744].
+        assert!((iv.lo - 0.0552).abs() < 5e-4, "{}", iv.lo);
+        assert!((iv.hi - 0.1744).abs() < 5e-4, "{}", iv.hi);
+        // Higher confidence widens the interval.
+        let wide = wilson(10, 100, 0.99);
+        assert!(wide.lo < iv.lo && wide.hi > iv.hi);
+        // More trials at the same rate tighten it.
+        let tight = wilson(100, 1000, 0.95);
+        assert!(tight.hi - tight.lo < iv.hi - iv.lo);
+    }
+
+    #[test]
+    fn wilson_handles_the_degenerate_counts() {
+        let zero = wilson(0, 50, 0.95);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.2);
+        let all = wilson(50, 50, 0.95);
+        assert_eq!(all.hi, 1.0);
+        assert!(all.lo > 0.8);
+    }
+
+    #[test]
+    fn clopper_pearson_matches_its_closed_form_at_zero_successes() {
+        // s = 0: the exact upper bound is 1 − (α/2)^(1/n).
+        let n = 40u64;
+        let iv = clopper_pearson(0, n, 0.95);
+        assert_eq!(iv.lo, 0.0);
+        let expect = 1.0 - (0.025f64).powf(1.0 / n as f64);
+        assert!((iv.hi - expect).abs() < 1e-8, "{} vs {expect}", iv.hi);
+        // And symmetrically at s = n.
+        let iv = clopper_pearson(n, n, 0.95);
+        assert_eq!(iv.hi, 1.0);
+        assert!((iv.lo - (1.0 - expect)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn clopper_pearson_is_conservative_versus_wilson() {
+        for (s, n) in [(3u64, 50u64), (10, 100), (250, 1000)] {
+            let cp = clopper_pearson(s, n, 0.95);
+            let w = wilson(s, n, 0.95);
+            let p = s as f64 / n as f64;
+            assert!(cp.contains(p));
+            assert!(w.contains(p));
+            // The exact interval is at least as wide as the score interval
+            // (a classical ordering; equality never occurs here).
+            assert!(cp.hi - cp.lo > w.hi - w.lo, "({s}, {n})");
+        }
+    }
+
+    #[test]
+    fn complement_flips_a_violation_bracket_into_a_validity_bracket() {
+        let iv = Interval { lo: 0.1, hi: 0.3 };
+        let v = iv.complement();
+        assert!((v.lo - 0.7).abs() < 1e-12 && (v.hi - 0.9).abs() < 1e-12);
+        assert!((iv.half_width() - v.half_width()).abs() < 1e-12);
+    }
+}

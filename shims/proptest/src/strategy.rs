@@ -150,6 +150,27 @@ impl Strategy for core::ops::Range<f64> {
     }
 }
 
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample_value(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let start = *self.start();
+        let mut out = Vec::new();
+        if *value > start {
+            out.push(start);
+            let mid = start + (*value - start) / 2.0;
+            if mid != start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+)

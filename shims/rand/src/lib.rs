@@ -121,6 +121,17 @@ impl SampleRange<f64> for core::ops::Range<f64> {
     }
 }
 
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // 53-bit grid over [0, 1]: the endpoint is reachable, unlike the
+        // half-open range above.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
 /// High-level sampling methods, available on every [`RngCore`].
 pub trait Rng: RngCore {
     /// Draws a uniform value of type `T`.

@@ -15,6 +15,9 @@
 //!   fault injection;
 //! * [`service`] — the async multiplexed consensus service (thousands of
 //!   concurrent sessions over a worker pool);
+//! * [`stat`] — the Monte Carlo statistical model checker (estimated
+//!   violation probability with Wilson / Clopper–Pearson confidence
+//!   intervals, sharded reproducibly across workers);
 //! * [`experiments`] — the table/figure generators (E1–E9).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
@@ -24,6 +27,7 @@ pub use eba_epistemic as epistemic;
 pub use eba_experiments as experiments;
 pub use eba_service as service;
 pub use eba_sim as sim;
+pub use eba_stat as stat;
 pub use eba_transport as transport;
 
 /// One-stop prelude: the commonly used types from every crate.

@@ -1,0 +1,63 @@
+//! Facade-level integration tests for the statistical model checker:
+//! the `eba::stat` surface, cross-validation against the exhaustive
+//! reference at checkable sizes, and worker-count invariance of the
+//! sharded estimator. Trial counts are kept small — these run in debug
+//! mode alongside the rest of the tier-1 suite.
+
+use eba::prelude::*;
+use eba::stat::prelude::*;
+
+fn stack(name: &str, n: usize, t: usize) -> NamedStack {
+    NamedStack::by_name(name, Params::new(n, t).unwrap()).unwrap()
+}
+
+#[test]
+fn a_correct_stack_estimates_as_fully_valid() {
+    let target = stack("E_min/P_min", 3, 1);
+    let mut plan = TrialPlan::new(2_000, target.params().default_horizon());
+    plan.scheme = SampleScheme::Stratified;
+    let est = estimate(&target, &plan, Parallelism::Sequential).unwrap();
+    assert_eq!(est.violations, 0);
+    assert_eq!(est.trials, 2_000);
+    assert_eq!(est.validity_interval().hi, 1.0);
+    assert_eq!(est.wilson.lo, 0.0);
+}
+
+#[test]
+fn the_naive_stack_estimate_brackets_the_exhaustive_verdict() {
+    let target = stack("E_naive/P_naive", 3, 1);
+    let mut plan = TrialPlan::new(8_192, target.params().default_horizon());
+    plan.scheme = SampleScheme::Uniform;
+    let exact = exact_violation_probability(&target, &plan).unwrap();
+    assert!(exact > 0.0, "the naive stack must be buggy at (3,1)");
+    let est = estimate(&target, &plan, Parallelism::Auto).unwrap();
+    assert!(est.violations > 0);
+    assert!(
+        est.wilson.contains(exact),
+        "Wilson [{:.4}, {:.4}] misses exact {:.4}",
+        est.wilson.lo,
+        est.wilson.hi,
+        exact
+    );
+    assert!(est.clopper_pearson.contains(exact));
+    // Violating repros replay as genuine spec violations.
+    assert!(!est.repros.is_empty());
+    for repro in &est.repros {
+        assert!(repro.engine_confirmed, "repro not confirmed by the engine");
+    }
+}
+
+#[test]
+fn estimates_are_invariant_under_the_worker_count() {
+    let target = stack("E_naive/P_naive", 4, 1);
+    let plan = TrialPlan::new(4_096, target.params().default_horizon());
+    let seq = estimate(&target, &plan, Parallelism::Sequential).unwrap();
+    let par = estimate(&target, &plan, Parallelism::Fixed(3)).unwrap();
+    assert_eq!(seq.violations, par.violations);
+    assert_eq!(seq.wilson.lo.to_bits(), par.wilson.lo.to_bits());
+    assert_eq!(seq.wilson.hi.to_bits(), par.wilson.hi.to_bits());
+    assert_eq!(seq.kind_counts, par.kind_counts);
+    let seq_strata: Vec<u64> = seq.strata.iter().map(|s| s.violations).collect();
+    let par_strata: Vec<u64> = par.strata.iter().map(|s| s.violations).collect();
+    assert_eq!(seq_strata, par_strata);
+}
